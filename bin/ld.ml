@@ -1,0 +1,362 @@
+(* `ld` — command-line front end for the linear-delta-local library.
+
+   Subcommands:
+     ld adversary  run the Section 4 lower-bound adversary
+     ld pack       run a distributed maximal edge packing
+     ld match      run a maximal matching baseline
+     ld factor     compute a factor graph and loopiness
+     ld order      sort tree addresses by the Appendix A canonical order *)
+
+open Cmdliner
+
+module LB = Ld_core.Lower_bound
+module Packing = Ld_matching.Packing
+module Ec = Ld_models.Ec
+module G = Ld_graph.Graph
+module Gen = Ld_graph.Generators
+module Fm = Ld_fm.Fm
+module Q = Ld_arith.Q
+module Colouring = Ld_models.Edge_colouring
+module Id = Ld_models.Labelled.Id
+
+let family_conv =
+  let parse s =
+    if List.mem_assoc s Gen.bench_families then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown family %S (choose from: %s)" s
+             (String.concat ", " (List.map fst Gen.bench_families))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let make_graph family ~seed ~n ~delta =
+  (List.assoc family Gen.bench_families) ~seed ~n ~delta
+
+let family_arg =
+  Arg.(value & opt family_conv "spider" & info [ "family" ] ~doc:"Graph family.")
+
+let n_arg = Arg.(value & opt int 30 & info [ "nodes" ] ~doc:"Number of nodes.")
+let delta_arg = Arg.(value & opt int 6 & info [ "delta" ] ~doc:"Maximum degree.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("greedy", `Greedy); ("proposal", `Proposal) ]) `Greedy
+    & info [ "algo" ] ~doc:"Packing algorithm: $(b,greedy) or $(b,proposal).")
+
+let truncate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "truncate" ] ~doc:"Truncate the algorithm to this many rounds.")
+
+(* ---- adversary ---- *)
+
+let adversary delta algo truncate verbose =
+  let algorithm =
+    match truncate with
+    | Some r -> Packing.truncated algo r
+    | None -> (
+      match algo with
+      | `Greedy -> Packing.greedy_algorithm
+      | `Proposal -> Packing.proposal_algorithm)
+  in
+  Printf.printf "adversary: delta=%d vs %s\n" delta algorithm.Packing.name;
+  match LB.run ~delta algorithm with
+  | LB.Certified certs ->
+    Printf.printf
+      "CERTIFIED: %d levels — the algorithm needs more than %d rounds.\n"
+      (List.length certs) (delta - 2);
+    if verbose then List.iter (Format.printf "%a@." LB.pp_certificate) certs;
+    0
+  | LB.Refuted (certs, f) ->
+    Printf.printf "REFUTED after %d certified levels:\n" (List.length certs);
+    Format.printf "%a@." LB.pp_failure f;
+    if verbose then Format.printf "graph: %a@." Ec.pp f.LB.fail_graph;
+    0
+
+let adversary_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every certificate.")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Run the Section 4 unfold-and-mix lower-bound adversary.")
+    Term.(const adversary $ delta_arg $ algo_arg $ truncate_arg $ verbose)
+
+(* ---- pack ---- *)
+
+let pack family n delta seed algo truncate =
+  let g = make_graph family ~seed ~n ~delta in
+  let ec = Colouring.ec_of_simple g in
+  Printf.printf "%s: n=%d m=%d delta=%d, %d colours\n" family (G.n g) (G.m g)
+    (G.max_degree g) (Ec.max_colour ec);
+  let y, rounds =
+    match algo with
+    | `Greedy ->
+      let r =
+        match truncate with
+        | Some t -> Stdlib.min t (Packing.greedy_rounds ec)
+        | None -> Packing.greedy_rounds ec
+      in
+      (Packing.greedy_by_colour ?truncate ec, r)
+    | `Proposal -> Packing.proposal ?truncate ec
+  in
+  Printf.printf "rounds=%d total=%s fm=%b maximal=%b ratio=%s\n" rounds
+    (Q.to_string (Fm.total y)) (Fm.is_fm y) (Fm.is_maximal_fm y)
+    (if G.m g = 0 then "-" else Q.to_string (Ld_fm.Maximum.ratio y));
+  0
+
+let pack_cmd =
+  Cmd.v
+    (Cmd.info "pack" ~doc:"Run a distributed maximal edge packing.")
+    Term.(
+      const pack $ family_arg $ n_arg $ delta_arg $ seed_arg $ algo_arg
+      $ truncate_arg)
+
+(* ---- match ---- *)
+
+let match_ family n delta seed which =
+  let g = make_graph family ~seed ~n ~delta in
+  Printf.printf "%s: n=%d m=%d delta=%d\n" family (G.n g) (G.m g) (G.max_degree g);
+  (match which with
+  | `Ec ->
+    let ec = Colouring.ec_of_simple g in
+    let r = Ld_matching.Mm_ec.greedy ec in
+    Printf.printf "ec-greedy: rounds=%d size=%d maximal=%b\n" r.rounds
+      (List.length r.matched_edges)
+      (Ld_matching.Mm_ec.is_maximal ec r)
+  | `Ii ->
+    let r = Ld_matching.Israeli_itai.run ~seed ~max_rounds:100000 (Id.trivial g) in
+    let size =
+      Array.fold_left (fun a m -> if m <> None then a + 1 else a) 0 r.mate / 2
+    in
+    Printf.printf "israeli-itai: rounds=%d size=%d maximal=%b\n" r.rounds size
+      (Ld_matching.Israeli_itai.is_maximal g r)
+  | `Pr ->
+    let r = Ld_matching.Panconesi_rizzi.run (Id.trivial g) in
+    let size =
+      Array.fold_left (fun a m -> if m <> None then a + 1 else a) 0 r.mate / 2
+    in
+    Printf.printf "panconesi-rizzi: rounds=%d (cv=%d) size=%d maximal=%b\n"
+      r.rounds r.cv_iterations size
+      (Ld_matching.Panconesi_rizzi.is_maximal g r));
+  0
+
+let match_cmd =
+  let which =
+    Arg.(
+      value
+      & opt (enum [ ("ec", `Ec); ("israeli-itai", `Ii); ("panconesi-rizzi", `Pr) ]) `Pr
+      & info [ "algo" ] ~doc:"$(b,ec), $(b,israeli-itai) or $(b,panconesi-rizzi).")
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run a maximal matching baseline.")
+    Term.(const match_ $ family_arg $ n_arg $ delta_arg $ seed_arg $ which)
+
+(* ---- factor ---- *)
+
+let factor family n delta seed =
+  let g = make_graph family ~seed ~n ~delta in
+  let ec = Colouring.ec_of_simple g in
+  let fg, _ = Ld_cover.Factor.factor ec in
+  Format.printf "graph: n=%d, factor graph:@.%a@." (G.n g) Ec.pp fg;
+  Printf.printf "loopiness (Definition 1): %d\n" (Ld_cover.Loopy.loopiness ec);
+  0
+
+let factor_cmd =
+  Cmd.v
+    (Cmd.info "factor" ~doc:"Compute the factor graph and loopiness.")
+    Term.(const factor $ family_arg $ n_arg $ delta_arg $ seed_arg)
+
+(* ---- order ---- *)
+
+let order_demo words =
+  let module O = Ld_order.Tree_order in
+  let parse w =
+    (* e.g. "+1-2+3": alternating sign and colour *)
+    let rec go i acc =
+      if i >= String.length w then List.rev acc
+      else begin
+        let fwd =
+          match w.[i] with
+          | '+' -> true
+          | '-' -> false
+          | _ -> invalid_arg "address syntax: use e.g. +1-2+3"
+        in
+        let j = ref (i + 1) in
+        while !j < String.length w && w.[!j] >= '0' && w.[!j] <= '9' do
+          incr j
+        done;
+        let colour = int_of_string (String.sub w (i + 1) (!j - i - 1)) in
+        go !j ({ O.fwd; colour } :: acc)
+      end
+    in
+    O.normalize (go 0 [])
+  in
+  let addresses = List.map parse words in
+  let sorted = O.sort_nodes addresses in
+  Format.printf "canonical order:@.";
+  List.iter (fun a -> Format.printf "  %a@." O.pp a) sorted;
+  0
+
+let order_cmd =
+  let words =
+    Arg.(
+      value
+      & pos_all string [ "+1"; "-1"; "+2"; "-2"; "+1+2"; "+1-2"; "" ]
+      & info [] ~docv:"ADDR" ~doc:"Tree addresses like $(b,+1-2+3).")
+  in
+  Cmd.v
+    (Cmd.info "order"
+       ~doc:"Sort tree addresses by the Appendix A canonical order.")
+    Term.(const order_demo $ words)
+
+(* ---- report ---- *)
+
+let report delta algo truncate output =
+  let algorithm =
+    match truncate with
+    | Some r -> Packing.truncated algo r
+    | None -> (
+      match algo with
+      | `Greedy -> Packing.greedy_algorithm
+      | `Proposal -> Packing.proposal_algorithm)
+  in
+  let outcome = LB.run ~delta algorithm in
+  let doc =
+    Ld_core.Report.markdown ~delta ~algorithm_name:algorithm.Packing.name outcome
+  in
+  (match output with
+  | None -> print_string doc
+  | Some path ->
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Printf.printf "report written to %s\n" path);
+  0
+
+let report_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the Markdown report to this file.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a full adversary run as a Markdown report.")
+    Term.(const report $ delta_arg $ algo_arg $ truncate_arg $ output)
+
+(* ---- dot ---- *)
+
+let dot family n delta seed kind =
+  let g = make_graph family ~seed ~n ~delta in
+  (match kind with
+  | `Simple -> print_string (Ld_models.Dot.simple g)
+  | `Ec -> print_string (Ld_models.Dot.ec (Colouring.ec_of_simple g))
+  | `Po ->
+    print_string (Ld_models.Dot.po (Ld_models.Po.of_ec (Colouring.ec_of_simple g)))
+  | `Factor ->
+    let fg, _ = Ld_cover.Factor.factor (Colouring.ec_of_simple g) in
+    print_string (Ld_models.Dot.ec fg));
+  0
+
+let dot_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("simple", `Simple); ("ec", `Ec); ("po", `Po); ("factor", `Factor) ])
+          `Ec
+      & info [ "as" ] ~doc:"$(b,simple), $(b,ec), $(b,po) or $(b,factor).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a generated graph.")
+    Term.(const dot $ family_arg $ n_arg $ delta_arg $ seed_arg $ kind)
+
+(* ---- certify / verify ---- *)
+
+let certify delta algo output =
+  let algorithm =
+    match algo with
+    | `Greedy -> Packing.greedy_algorithm
+    | `Proposal -> Packing.proposal_algorithm
+  in
+  match LB.run ~delta algorithm with
+  | LB.Refuted (_, f) ->
+    Format.printf "cannot certify: %a@." LB.pp_failure f;
+    1
+  | LB.Certified certs ->
+    Ld_core.Certificate_io.save output certs;
+    Printf.printf "%d certificates (delta=%d, %s) written to %s\n"
+      (List.length certs) delta algorithm.Packing.name output;
+    0
+
+let certify_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Certificate file to write.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Run the adversary and export the certificate chain to a file.")
+    Term.(const certify $ delta_arg $ algo_arg $ output)
+
+let verify delta algo input =
+  let algorithm =
+    match algo with
+    | Some `Greedy -> Some Packing.greedy_algorithm
+    | Some `Proposal -> Some Packing.proposal_algorithm
+    | None -> None
+  in
+  let certs = Ld_core.Certificate_io.load input in
+  let checks = Ld_core.Certificate_io.verify ?algorithm ~delta certs in
+  List.iter (Format.printf "  %a@." Ld_core.Certificate_io.pp_check) checks;
+  if List.for_all Ld_core.Certificate_io.check_ok checks then begin
+    Printf.printf
+      "VERIFIED: %d levels — any algorithm producing these outputs needs \
+       more than %d rounds.\n"
+      (List.length checks)
+      (List.fold_left (fun a c -> max a c.Ld_core.Certificate_io.chk_level) (-1) checks);
+    0
+  end
+  else begin
+    Printf.printf "verification FAILED\n";
+    1
+  end
+
+let verify_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Certificate file to check.")
+  in
+  let algo_opt =
+    Arg.(
+      value
+      & opt (some (enum [ ("greedy", `Greedy); ("proposal", `Proposal) ])) None
+      & info [ "algo" ]
+          ~doc:"Also re-run this algorithm and compare the claimed outputs.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Independently re-verify a certificate file from scratch.")
+    Term.(const verify $ delta_arg $ algo_opt $ input)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ld" ~version:"1.0.0"
+       ~doc:
+         "Linear-in-Delta lower bounds in the LOCAL model — executable \
+          reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
+    [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
+      certify_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

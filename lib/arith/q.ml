@@ -1,0 +1,77 @@
+(* Invariant: [den] is positive and [gcd num den = 1]; zero is [0/1]. *)
+
+type t = { num : Z.t; den : Z.t }
+
+let make num den =
+  if Z.is_zero den then raise Division_by_zero
+  else if Z.is_zero num then { num = Z.zero; den = Z.one }
+  else begin
+    let num, den = if Z.sign den < 0 then (Z.neg num, Z.neg den) else (num, den) in
+    let g = Z.gcd num den in
+    { num = Z.div num g; den = Z.div den g }
+  end
+
+let of_ints num den = make (Z.of_int num) (Z.of_int den)
+let of_int n = { num = Z.of_int n; den = Z.one }
+
+let zero = of_int 0
+let one = of_int 1
+let half = of_ints 1 2
+
+let num t = t.num
+let den t = t.den
+
+let neg t = { t with num = Z.neg t.num }
+let abs t = { t with num = Z.abs t.num }
+
+let add a b =
+  make (Z.add (Z.mul a.num b.den) (Z.mul b.num a.den)) (Z.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Z.mul a.num b.num) (Z.mul a.den b.den)
+let div a b = make (Z.mul a.num b.den) (Z.mul a.den b.num)
+let inv t = make t.den t.num
+
+let compare a b = Z.compare (Z.mul a.num b.den) (Z.mul b.num a.den)
+let equal a b = Z.equal a.num b.num && Z.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let sign t = Z.sign t.num
+let is_zero t = Z.is_zero t.num
+let is_integer t = Z.equal t.den Z.one
+
+let sum qs = List.fold_left add zero qs
+
+let to_string t =
+  if is_integer t then Z.to_string t.num
+  else Z.to_string t.num ^ "/" ^ Z.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> { num = Z.of_string s; den = Z.one }
+  | Some i ->
+    make
+      (Z.of_string (String.sub s 0 i))
+      (Z.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let to_float t =
+  (* Exact for small values; for large ones fall back to string digits. *)
+  match (Z.to_int_opt t.num, Z.to_int_opt t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ -> float_of_string (Z.to_string t.num) /. float_of_string (Z.to_string t.den)
+
+let hash t = (Z.hash t.num * 31) + Z.hash t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

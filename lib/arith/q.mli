@@ -1,0 +1,71 @@
+(** Exact rational arithmetic.
+
+    Values are kept normalised: the denominator is positive and coprime
+    with the numerator. All fractional-matching weights in this project
+    are values of this type, so feasibility and maximality certificates
+    are exact, never subject to floating-point error. *)
+
+type t
+
+val zero : t
+val one : t
+val half : t
+
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Z.t -> Z.t -> t
+
+(** [of_ints num den] is [make (Z.of_int num) (Z.of_int den)]. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+
+val num : t -> Z.t
+val den : t -> Z.t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero if the divisor is zero. *)
+val div : t -> t -> t
+
+(** [inv t] is [1/t]. @raise Division_by_zero if [t] is zero. *)
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer t] holds iff the denominator is 1. *)
+val is_integer : t -> bool
+
+(** [sum qs] adds a list of rationals. *)
+val sum : t list -> t
+
+(** [of_string s] parses ["p"], ["p/q"] or ["-p/q"].
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val to_float : t -> float
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Infix operators, for readability in weight arithmetic. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,56 @@
+module G = Ld_graph.Graph
+module Id = Ld_models.Labelled.Id
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    List.map (fun t -> x :: t) s @ s
+
+let all_graphs_on k =
+  (* All edge subsets of the complete graph on k nodes. *)
+  let pairs = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  List.map (fun es -> G.create k es) (subsets !pairs)
+
+let all_id_graphs ids =
+  let ids = List.sort_uniq compare ids in
+  List.concat_map
+    (fun subset ->
+      match subset with
+      | [] -> []
+      | _ ->
+        let arr = Array.of_list subset in
+        List.map
+          (fun g -> Id.create g arr)
+          (all_graphs_on (Array.length arr)))
+    (subsets ids)
+
+let find_seed ~ids ~seeds ~correct =
+  let graphs = all_id_graphs ids in
+  let trials = ref 0 in
+  let good seed =
+    List.for_all
+      (fun idg ->
+        incr trials;
+        correct idg ~seed)
+      graphs
+  in
+  List.find_opt good seeds |> Option.map (fun s -> (s, !trials))
+
+let failure_rate ~ids ~seeds ~correct =
+  let graphs = all_id_graphs ids in
+  let total = ref 0 and failures = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun idg ->
+          incr total;
+          if not (correct idg ~seed) then incr failures)
+        graphs)
+    seeds;
+  if !total = 0 then 0.0 else float_of_int !failures /. float_of_int !total

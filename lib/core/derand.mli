@@ -1,0 +1,32 @@
+(** Derandomising local algorithms (Appendix B, Lemma 10).
+
+    Lemma 10: for every [n] there are an [n]-element identifier set
+    [S_n] and a fixed assignment of random strings [ρ_n] such that the
+    randomised algorithm, run with [ρ_n] in place of fresh randomness,
+    is correct on {e all} graphs whose identifiers come from [S_n]. The
+    paper proves existence by an averaging/amplification argument; here
+    we simply conduct the search for concrete small [n]: enumerate every
+    graph over every subset of [S], and scan candidate randomness seeds
+    (a seed determines each identifier's random string, exactly the
+    [ρ : V → {0,1}*] of the paper) until one works everywhere. *)
+
+(** [all_id_graphs ids] enumerates every simple graph whose node set is
+    any non-empty subset of [ids] (identifiers attached in sorted
+    order). Sizes grow as [2^(k choose 2)]; intended for [|ids| <= 5]. *)
+val all_id_graphs : int list -> Ld_models.Labelled.Id.t list
+
+(** [find_seed ~ids ~seeds ~correct] returns the first seed under which
+    [correct] holds on every graph of [all_id_graphs ids], together
+    with the number of (graph, seed) trials performed. *)
+val find_seed :
+  ids:int list -> seeds:int list ->
+  correct:(Ld_models.Labelled.Id.t -> seed:int -> bool) ->
+  (int * int) option
+
+(** [failure_rate ~ids ~seeds ~correct] measures, for reporting, the
+    fraction of (graph, seed) pairs on which [correct] fails — the
+    empirical failure probability that Lemma 10's averaging argument
+    beats. *)
+val failure_rate :
+  ids:int list -> seeds:int list ->
+  correct:(Ld_models.Labelled.Id.t -> seed:int -> bool) -> float

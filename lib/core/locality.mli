@@ -1,0 +1,57 @@
+(** Empirical locality measurement — the paper's Definition (1) as a
+    test.
+
+    A [t]-time algorithm is a function with [A(G, v) = A(τ_t(G, v))]:
+    nodes with isomorphic radius-[t] views must receive identical
+    outputs. Given a black-box algorithm and a set of probe graphs,
+    this module searches for violations — pairs of nodes whose radius-[t]
+    views are isomorphic (decided by colour refinement) while their
+    output dart weights differ — and reports the smallest radius at
+    which no violation is visible.
+
+    The result is an {e empirical} bound: a violation at radius [t]
+    {b proves} run-time [> t] (these are exactly the certificates the
+    Section 4 adversary manufactures deliberately); absence of
+    violations is only evidence, bounded by the probe set. *)
+
+type violation = {
+  graph_a : int;  (** index into the probe list *)
+  node_a : int;
+  graph_b : int;
+  node_b : int;
+  radius : int;  (** views isomorphic at this radius, outputs differ *)
+}
+
+(** [violation_at ~radius algo probes] finds some violation at exactly
+    this radius, if one exists among all node pairs of the probes. *)
+val violation_at :
+  radius:int -> Lower_bound.algorithm -> Ld_models.Ec.t list ->
+  violation option
+
+(** [empirical_locality ~max_radius algo probes] is the least
+    [t <= max_radius] without violations, or [None] if even
+    [max_radius] shows one. A correct [t]-round machine (in the
+    communication sense) never exceeds [t + 1] here. *)
+val empirical_locality :
+  max_radius:int -> Lower_bound.algorithm -> Ld_models.Ec.t list ->
+  int option
+
+(** The probe set the adversary's certificates induce: all the [G_i],
+    [H_i] graphs of a certificate chain — on these, [empirical_locality]
+    of the certified algorithm is provably above the top level. *)
+val probes_of_certificates :
+  Lower_bound.certificate list -> Ld_models.Ec.t list
+
+(** {1 ID-model locality}
+
+    For identifier-based algorithms the paper's condition (1) reads
+    [A(G, v) = A(τ_t(G, v))] over the identified ball. *)
+
+(** [id_local_at ~radius ~run ~equal idg v] extracts [τ_radius(idg, v)]
+    (with its original identifiers), re-runs the algorithm on the ball
+    alone, and compares the root's two outputs. The outputs must be
+    index-independent values (e.g. the matched partner's {e identifier},
+    not its node index). *)
+val id_local_at :
+  radius:int -> run:(Ld_models.Labelled.Id.t -> 'a array) ->
+  equal:('a -> 'a -> bool) -> Ld_models.Labelled.Id.t -> int -> bool

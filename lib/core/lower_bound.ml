@@ -1,0 +1,341 @@
+module Ec = Ld_models.Ec
+module Fm = Ld_fm.Fm
+module Q = Ld_arith.Q
+module Lift = Ld_cover.Lift
+module Refinement = Ld_cover.Refinement
+module Propagation = Ld_fm.Propagation
+
+type algorithm = Ld_matching.Packing.algorithm = {
+  name : string;
+  run : Ec.t -> Fm.t;
+}
+
+type certificate = {
+  level : int;
+  g_graph : Ec.t;
+  h_graph : Ec.t;
+  g_node : int;
+  h_node : int;
+  colour : int;
+  g_loop : int;
+  h_loop : int;
+  g_weight : Q.t;
+  h_weight : Q.t;
+  views_checked : bool;
+}
+
+type failure = {
+  fail_level : int;
+  fail_graph : Ec.t;
+  fail_output : Fm.t;
+  fail_violations : Fm.violation list;
+  fail_lift : Lift.covering;
+  fail_note : string;
+}
+
+type outcome =
+  | Certified of certificate list
+  | Refuted of certificate list * failure
+
+(* The running state of the induction: the pair (G, H) together with the
+   distinguished nodes g, h, the colour-c loops e, f on which A's
+   outputs y_G = A(G) and y_H = A(H) disagree. *)
+type level_state = {
+  i : int;
+  gr : Ec.t;
+  hr : Ec.t;
+  g : int;
+  h : int;
+  c : int;
+  e : int; (* loop id in gr *)
+  f : int; (* loop id in hr *)
+  y_g : Fm.t;
+  y_h : Fm.t;
+}
+
+exception Refutation of failure
+
+(* A Lemma-2-style simple witness: the output of a lift-invariant
+   algorithm fails on the loop-free 2-lift whenever it fails on the
+   loopy base (an unsaturated loop becomes an edge with two unsaturated
+   endpoints; other violations pull back verbatim). *)
+let check_feasible ~level graph output =
+  (* On the loopy graphs of this construction, maximality already forces
+     full saturation (Lemma 2): every node carries a loop, and an
+     unsaturated loop endpoint is a maximality violation. *)
+  let violations =
+    Fm.validity_violations output @ Fm.maximality_violations output
+  in
+  if violations <> [] then
+    raise
+      (Refutation
+         {
+           fail_level = level;
+           fail_graph = graph;
+           fail_output = output;
+           fail_violations = violations;
+           fail_lift = Lift.double graph;
+           fail_note =
+             "output is not a fully saturated maximal fractional matching on \
+              a loopy EC-graph (cf. Lemma 2); the violation persists on the \
+              loop-free 2-lift [fail_lift]";
+         })
+
+let run_checked ~level algo graph =
+  let y = algo.run graph in
+  check_feasible ~level graph y;
+  y
+
+(* Base case (Fig. 5). *)
+let base_case ~delta algo =
+  let g0 =
+    Ec.create ~n:1 ~edges:[] ~loops:(List.init delta (fun c -> (0, c + 1)))
+  in
+  let y0 = run_checked ~level:0 algo g0 in
+  (* Saturation means some loop has positive weight. *)
+  let e =
+    match
+      List.find_index (fun id -> Q.sign (Fm.loop_weight y0 id) > 0)
+        (List.init delta Fun.id)
+    with
+    | Some id -> id
+    | None -> assert false (* fully saturated => positive weight exists *)
+  in
+  let h0 = Ec.remove_loop g0 e in
+  let y0' = run_checked ~level:0 algo h0 in
+  (* Find a surviving loop whose weight changed. Loop j of g0 (j <> e)
+     is loop (j < e ? j : j - 1) of h0. *)
+  let surviving = List.filter (fun j -> j <> e) (List.init delta Fun.id) in
+  let changed =
+    List.find_opt
+      (fun j ->
+        let j' = if j < e then j else j - 1 in
+        not (Q.equal (Fm.loop_weight y0 j) (Fm.loop_weight y0' j')))
+      surviving
+  in
+  match changed with
+  | None ->
+    (* Impossible for feasible outputs: both saturate the node, and the
+       removed loop had positive weight. *)
+    assert false
+  | Some j ->
+    let j' = if j < e then j else j - 1 in
+    {
+      i = 0;
+      gr = g0;
+      hr = h0;
+      g = 0;
+      h = 0;
+      c = (Ec.loop g0 j).colour;
+      e = j;
+      f = j';
+      y_g = y0;
+      y_h = y0';
+    }
+
+(* The mixture GH (Fig. 6): copy of (G - e), copy of (H - f), and a new
+   colour-c crossing edge between g and h. Copy A keeps G's node, edge
+   and (filtered) loop ids; copy B shifts H's nodes by [n G]. Surviving
+   loops keep their relative order, so G-loop j (j <> e) has GH-loop id
+   [j < e ? j : j-1], and H-loop j has id [num_loops G - 1 + (j < f ? j : j-1)]. *)
+let mix state =
+  let { gr; hr; g; h; c; e; f; _ } = state in
+  let ng = Ec.n gr in
+  let edges =
+    List.map (fun (x : Ec.edge) -> (x.u, x.v, x.colour)) (Ec.edges gr)
+    @ List.map (fun (x : Ec.edge) -> (x.u + ng, x.v + ng, x.colour)) (Ec.edges hr)
+    @ [ (g, ng + h, c) ]
+  in
+  let keep skip loops =
+    List.filteri (fun id _ -> id <> skip) loops
+  in
+  let loops =
+    List.map (fun (l : Ec.loop) -> (l.node, l.colour)) (keep e (Ec.loops gr))
+    @ List.map (fun (l : Ec.loop) -> (l.node + ng, l.colour)) (keep f (Ec.loops hr))
+  in
+  Ec.create ~n:(ng + Ec.n hr) ~edges ~loops
+
+(* Transport the side-local weights of y_mix (an FM on the mixture GH or
+   on the 2-lift) onto the unfolded graph [target = GG or HH], producing
+   the y' of §4.3: identical to A's output on [target] outside the side
+   we walk in, and equal to A's output on the mixture inside it.
+
+   [side] selects which copy: `G means copy A of GG vs copy A of GH
+   (identity on ids); `H means copy A of HH vs copy B of GH (node shift
+   ng, edge shift mg, loop shift |keep G|). *)
+let transport ~side ~state ~target ~y_target ~y_mix =
+  let { gr; hr; _ } = state in
+  let mg = Ec.num_edges gr in
+  let lg = Ec.num_loops gr - 1 (* loops of G - e *) in
+  let lh = Ec.num_loops hr - 1 in
+  let side_edges, side_loops, edge_map, loop_map =
+    match side with
+    | `G -> (mg, lg, (fun j -> j), fun j -> j)
+    | `H -> (Ec.num_edges hr, lh, (fun j -> mg + j), fun j -> lg + j)
+  in
+  let crossing_target = Ec.num_edges target - 1 in
+  let crossing_mix = mg + Ec.num_edges hr in
+  let edge_w =
+    Array.init (Ec.num_edges target) (fun j ->
+        if j < side_edges then Fm.edge_weight y_mix (edge_map j)
+        else if j = crossing_target then Fm.edge_weight y_mix crossing_mix
+        else Fm.edge_weight y_target j)
+  in
+  let loop_w =
+    Array.init (Ec.num_loops target) (fun j ->
+        if j < side_loops then Fm.loop_weight y_mix (loop_map j)
+        else Fm.loop_weight y_target j)
+  in
+  Fm.create target ~edge_w ~loop_w
+
+(* P3: the graph is a tree once loops are ignored. *)
+let is_tree_plus_loops g =
+  let module Gr = Ld_graph.Graph in
+  match
+    Gr.create (Ec.n g)
+      (List.map (fun (x : Ec.edge) -> (Stdlib.min x.u x.v, Stdlib.max x.u x.v))
+         (Ec.edges g))
+  with
+  | exception Invalid_argument _ -> false (* parallel edges: not a tree *)
+  | sg -> Gr.m sg = Gr.n sg - 1 && Gr.is_connected sg
+
+(* One unfold-and-mix step (Fig. 6 + Fig. 7). *)
+let step ~delta ~algo ~check_views ~check_lift_invariance state =
+  let level = state.i + 1 in
+  let { gr; hr; g; h; c; e; f; y_g; y_h; _ } = state in
+  let cov_gg = Lift.unfold_loop gr ~loop_id:e in
+  let cov_hh = Lift.unfold_loop hr ~loop_id:f in
+  let gg = cov_gg.total and hh = cov_hh.total in
+  let gh = mix state in
+  (* P2 and P3 for the freshly built graphs. *)
+  List.iter
+    (fun x ->
+      assert (Ec.min_loops x >= delta - 1 - level);
+      assert (Ec.max_degree x <= delta);
+      assert (is_tree_plus_loops x))
+    [ gg; hh; gh ];
+  let y_gg = run_checked ~level algo gg in
+  let y_hh = run_checked ~level algo hh in
+  let y_gh = run_checked ~level algo gh in
+  if check_lift_invariance then begin
+    if not (Fm.equal y_gg (Fm.pull_back cov_gg y_g)) then
+      failwith
+        (algo.name
+       ^ ": not lift-invariant (output on 2-lift GG differs from pulled-back \
+          output on G) — not an EC-model algorithm");
+    if not (Fm.equal y_hh (Fm.pull_back cov_hh y_h)) then
+      failwith (algo.name ^ ": not lift-invariant on HH")
+  end;
+  let w_e = Fm.loop_weight y_g e in
+  let w_f = Fm.loop_weight y_h f in
+  let crossing_gh = Ec.num_edges gh - 1 in
+  let w_cross = Fm.edge_weight y_gh crossing_gh in
+  assert (not (Q.equal w_e w_f));
+  (* Choose the side whose unfolded weight differs from the crossing
+     weight; at least one does since w_e <> w_f. *)
+  let side, target, y_target, start =
+    if not (Q.equal w_cross w_e) then (`G, gg, y_gg, g) else (`H, hh, y_hh, h)
+  in
+  let y' = transport ~side ~state ~target ~y_target ~y_mix:y_gh in
+  let first =
+    match Ec.dart_by_colour target start c with
+    | Some d -> d
+    | None -> assert false (* the crossing edge has colour c at start *)
+  in
+  let g_star, loop_target =
+    match Propagation.walk ~y:y_target ~y':y' ~start ~first with
+    | Propagation.Loop_found { node; loop_id; _ } -> (node, loop_id)
+    | Propagation.Stuck { node; _ } ->
+      (* Impossible once feasibility was checked: every node saturated
+         and Fact 3 applies. *)
+      failwith
+        (Printf.sprintf
+           "propagation walk stuck at node %d despite feasible outputs" node)
+  in
+  (* Identify the same objects inside the mixture GH. *)
+  let lg = Ec.num_loops gr - 1 in
+  let g_star_gh, loop_gh =
+    match side with
+    | `G -> (g_star, loop_target) (* copy A ids coincide *)
+    | `H -> (Ec.n gr + g_star, lg + loop_target)
+  in
+  let wg = Fm.loop_weight y_target loop_target in
+  let wh = Fm.loop_weight y_gh loop_gh in
+  assert (not (Q.equal wg wh));
+  let views_checked =
+    check_views
+    && Refinement.equivalent_radius target g_star gh g_star_gh ~radius:level
+  in
+  if check_views && not views_checked then
+    failwith "P1 violated: radius-level views are not isomorphic (engine bug)";
+  let colour = (Ec.loop target loop_target).colour in
+  ( {
+      i = level;
+      gr = target;
+      hr = gh;
+      g = g_star;
+      h = g_star_gh;
+      c = colour;
+      e = loop_target;
+      f = loop_gh;
+      y_g = y_target;
+      y_h = y_gh;
+    },
+    views_checked )
+
+let certificate_of_state ~views_checked s =
+  {
+    level = s.i;
+    g_graph = s.gr;
+    h_graph = s.hr;
+    g_node = s.g;
+    h_node = s.h;
+    colour = s.c;
+    g_loop = s.e;
+    h_loop = s.f;
+    g_weight = Fm.loop_weight s.y_g s.e;
+    h_weight = Fm.loop_weight s.y_h s.f;
+    views_checked;
+  }
+
+let run ?(check_views = true) ?(check_lift_invariance = true) ~delta algo =
+  if delta < 2 then invalid_arg "Lower_bound.run: delta must be >= 2";
+  let certificates = ref [] in
+  try
+    let state = ref (base_case ~delta algo) in
+    certificates := [ certificate_of_state ~views_checked:check_views !state ];
+    while !state.i < delta - 2 do
+      let next, views_checked =
+        step ~delta ~algo ~check_views ~check_lift_invariance !state
+      in
+      state := next;
+      certificates := certificate_of_state ~views_checked next :: !certificates
+    done;
+    Certified (List.rev !certificates)
+  with Refutation failure -> Refuted (List.rev !certificates, failure)
+
+let max_level = function
+  | Certified certs | Refuted (certs, _) ->
+    List.fold_left (fun acc c -> Stdlib.max acc c.level) (-1) certs
+
+let boundary ~delta ~truncate_max base =
+  List.init (truncate_max + 1) (fun r ->
+      let algo = Ld_matching.Packing.truncated base r in
+      (r, max_level (run ~check_views:false ~delta algo)))
+
+let pp_certificate fmt c =
+  Format.fprintf fmt
+    "@[<v>level %d: |G_i| = %d nodes, |H_i| = %d nodes;@ distinguished nodes \
+     g=%d h=%d; colour-%d loops carry weights %a vs %a;@ radius-%d views %s@]"
+    c.level (Ec.n c.g_graph) (Ec.n c.h_graph) c.g_node c.h_node c.colour Q.pp
+    c.g_weight Q.pp c.h_weight c.level
+    (if c.views_checked then "verified isomorphic (colour refinement)"
+     else "not checked")
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>refuted at level %d: on a loopy EC-graph with %d nodes the output \
+     has %d violation(s);@ note: %s@]"
+    f.fail_level (Ec.n f.fail_graph)
+    (List.length f.fail_violations)
+    f.fail_note

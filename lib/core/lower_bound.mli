@@ -1,0 +1,101 @@
+(** The Section 4 adversary: an executable unfold-and-mix lower bound.
+
+    Given any deterministic, lift-invariant EC algorithm [A] for the
+    maximal fractional matching problem, the engine constructs the
+    inductive sequence of loopy EC-graph pairs [(G_i, H_i)],
+    [i = 0 … Δ-2], of the paper:
+
+    - {b Base case} (Fig. 5): [G_0] is a single node with [Δ]
+      differently-coloured loops; [H_0] removes a loop that [A] weights
+      positively, which forces [A] to change some other loop's weight.
+    - {b Unfold & mix} (Fig. 6): from [(G, H)] with differing colour-[c]
+      loops at [g, h], build the 2-lift [GG] (or [HH]) and the mixture
+      [GH]; the crossing edge's weight in [GH] must differ from the
+      weight of [e] in [GG] or of [f] in [HH].
+    - {b Propagation} (Fig. 7): the disagreement walks through the
+      common, fully saturated side until it reaches a loop [e*] with
+      differing weights — the distinguished pair of the next level.
+
+    Every emitted level is {e machine-checked}: the radius-[i] views of
+    the distinguished nodes are verified isomorphic by exact colour
+    refinement while the outputs on the named loop differ, so each level
+    [i] is a standalone certificate that [A]'s run-time exceeds [i]
+    (in the paper's [τ_t] locality sense; an [r]-communication-round
+    machine is a [t = r+1] algorithm in that sense).
+
+    If [A] is not actually correct on the constructed loopy graphs —
+    e.g. because it is a truncated, genuinely fast algorithm — the
+    invariants of the construction must break, and the engine returns a
+    concrete {e failure witness}: a loopy EC multigraph on which [A]'s
+    output is infeasible or non-maximal (together with a simple 2-lift
+    on which the violation persists, via Lemma 2). This is the other
+    half of the dichotomy: fast implies wrong, correct implies slow. *)
+
+module Ec = Ld_models.Ec
+module Fm = Ld_fm.Fm
+module Q = Ld_arith.Q
+
+type algorithm = Ld_matching.Packing.algorithm = {
+  name : string;
+  run : Ec.t -> Fm.t;
+}
+
+type certificate = {
+  level : int;  (** the [i] of [(G_i, H_i)] *)
+  g_graph : Ec.t;
+  h_graph : Ec.t;
+  g_node : int;
+  h_node : int;
+  colour : int;  (** colour [c_i] of the distinguished loops *)
+  g_loop : int;  (** loop id in [g_graph] *)
+  h_loop : int;  (** loop id in [h_graph] *)
+  g_weight : Q.t;
+  h_weight : Q.t;  (** differing outputs: [g_weight <> h_weight] *)
+  views_checked : bool;
+      (** radius-[level] view isomorphism verified by refinement *)
+}
+
+type failure = {
+  fail_level : int;
+  fail_graph : Ec.t;  (** loopy multigraph where [A]'s output fails *)
+  fail_output : Fm.t;
+  fail_violations : Fm.violation list;
+  fail_lift : Ld_cover.Lift.covering;
+      (** a loop-free 2-lift of [fail_graph]; [A]'s (pulled-back) output
+          fails on this {e simple} graph too *)
+  fail_note : string;
+}
+
+type outcome =
+  | Certified of certificate list
+      (** certificates for levels [0 … Δ-2]: run-time [> Δ-2] *)
+  | Refuted of certificate list * failure
+      (** [A] is not a correct maximal-FM algorithm; levels certified
+          before the break are included *)
+
+(** [run ~delta a] executes the adversary against [a] for maximum
+    degree [delta >= 2].
+
+    @param check_views verify P1 view-isomorphism by colour refinement
+    at every level (default [true]).
+    @param check_lift_invariance re-run [a] on each 2-lift and compare
+    with the pulled-back base output; a mismatch means [a] violates the
+    EC model's condition (2) and raises [Failure] (default [true]).
+    @raise Invalid_argument if [delta < 2]. *)
+val run :
+  ?check_views:bool -> ?check_lift_invariance:bool -> delta:int ->
+  algorithm -> outcome
+
+(** Highest certified level of an outcome ([-1] if none). *)
+val max_level : outcome -> int
+
+(** [boundary ~delta ~truncate_max base] runs the adversary against the
+    [base] algorithm truncated to [r = 0, 1, …, truncate_max]
+    communication rounds and returns, for each [r], the outcome's
+    maximal certified level — the empirical round-vs-locality frontier
+    plotted in the benchmark. *)
+val boundary :
+  delta:int -> truncate_max:int -> [ `Greedy | `Proposal ] -> (int * int) list
+
+val pp_certificate : Format.formatter -> certificate -> unit
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,41 @@
+(** Finite versions of the Ramsey arguments of §5.4 (Lemmas 5–7).
+
+    The paper invokes the infinite Ramsey theorem to find an identifier
+    set [I] on which the saturation indicator [A*] of an ID-algorithm
+    becomes order-invariant, then passes to a sparse subset [J] on which
+    the full algorithm is relabelling-stable. Neither step is effective,
+    but both are {e searches}: for concrete radii, graphs and identifier
+    universes, the monochromatic subset can simply be found. This module
+    performs those searches, turning Lemma 5's "there is an infinite
+    set I" into "here is the set I for this instance". *)
+
+(** [monochromatic_subset ~universe ~arity ~colour ~size] finds a subset
+    [S] of [universe] with [|S| = size] such that [colour] takes one
+    value on all sorted [arity]-tuples of [S] (Ramsey's theorem, finite
+    search by backtracking). Returns [None] when the universe admits no
+    such subset. *)
+val monochromatic_subset :
+  universe:int list -> arity:int -> colour:(int list -> int) -> size:int ->
+  int list option
+
+(** Lemma 5, finite form: [indicator ids] is the saturation pattern an
+    ID-algorithm produces when the rank-[k] node of a fixed ordered
+    graph on [nodes] nodes gets the [k]-th smallest identifier of
+    [ids]. Finds a [size]-element identifier set on which the pattern
+    is constant — i.e. on which the indicator is order-invariant. *)
+val order_invariant_identifiers :
+  universe:int list -> nodes:int -> indicator:(int array -> bool array) ->
+  size:int -> int list option
+
+(** Lemma 7's sparsification [J ⊆ I]: keep every [(gap+1)]-th element,
+    so that consecutive kept identifiers have at least [gap] unused
+    identifiers of [I] between them. *)
+val sparsify : gap:int -> int list -> int list
+
+(** Lemma 7's conclusion as a checkable property: [relabelling_stable
+    ~ids ~nodes ~run ~equal] holds iff [run] gives [equal] outputs for
+    every pair of order-respecting assignments of [nodes] identifiers
+    drawn from [ids]. *)
+val relabelling_stable :
+  ids:int list -> nodes:int -> run:(int array -> 'a) ->
+  equal:('a -> 'a -> bool) -> bool

@@ -1,0 +1,11 @@
+(** Human-readable reports of adversary runs.
+
+    Renders the outcome of {!Lower_bound.run} as a Markdown document:
+    per-level certificates with the distinguished graphs inlined (small
+    levels) or summarised (large ones), the base-case pair of Fig. 5,
+    and — for refutations — the failure witness together with its
+    loop-free 2-lift, plus DOT sources for the small graphs. *)
+
+(** [markdown ~delta ~algorithm_name outcome] renders the outcome. *)
+val markdown :
+  delta:int -> algorithm_name:string -> Lower_bound.outcome -> string

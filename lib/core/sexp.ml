@@ -1,0 +1,91 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let int n = Atom (string_of_int n)
+let list l = List l
+let field name body = List (Atom name :: body)
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> failwith "Sexp.of_string: unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> failwith "Sexp.of_string: unclosed parenthesis"
+        | Some _ ->
+          items := parse () :: !items;
+          items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some ')' -> failwith "Sexp.of_string: unexpected ')'"
+    | Some _ ->
+      let start = !pos in
+      let rec scan () =
+        match peek () with
+        | Some (' ' | '\t' | '\n' | '\r' | '(' | ')') | None -> ()
+        | Some _ ->
+          advance ();
+          scan ()
+      in
+      scan ();
+      Atom (String.sub s start (!pos - start))
+  in
+  let result = parse () in
+  skip_ws ();
+  if !pos <> n then failwith "Sexp.of_string: trailing input";
+  result
+
+let find name = function
+  | List items ->
+    let rec go = function
+      | [] -> failwith (Printf.sprintf "Sexp.find: no field %S" name)
+      | List (Atom a :: body) :: _ when a = name -> body
+      | _ :: rest -> go rest
+    in
+    go items
+  | Atom _ -> failwith "Sexp.find: not a list"
+
+let to_int = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "Sexp.to_int: %S" a))
+  | List _ -> failwith "Sexp.to_int: not an atom"
+
+let to_atom = function
+  | Atom a -> a
+  | List _ -> failwith "Sexp.to_atom: not an atom"

@@ -1,0 +1,24 @@
+(** A minimal S-expression reader/writer (no external dependencies),
+    used to serialise lower-bound certificates ({!Certificate_io}). *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+
+(** @raise Failure on malformed input. *)
+val of_string : string -> t
+
+(** Helpers for the common shapes. *)
+val atom : string -> t
+val int : int -> t
+val list : t list -> t
+
+(** [field name body] is [(name body...)]. *)
+val field : string -> t list -> t
+
+(** [find name sexp] extracts the body of the unique [(name ...)] entry
+    of a list. @raise Failure if absent. *)
+val find : string -> t -> t list
+
+val to_int : t -> int
+val to_atom : t -> string

@@ -1,0 +1,6 @@
+let against_ec ~delta algo = Lower_bound.run ~delta algo
+
+let against_po ~delta algo = Lower_bound.run ~delta (Simulate.ec_of_po algo)
+
+let against_oi ~delta rule =
+  Lower_bound.run ~delta (Simulate.ec_of_po (Simulate.po_of_oi rule))

@@ -1,0 +1,33 @@
+(** Theorem 1, assembled: no LOCAL algorithm finds a maximal fractional
+    matching in [o(Δ)] rounds.
+
+    The adversary of {!Lower_bound} operates in the EC model; the
+    simulations of {!Simulate} feed the stronger models into it:
+
+    - an EC algorithm meets the adversary directly;
+    - a PO algorithm is first pushed through EC ⇐ PO (§5.1) — note the
+      degree bookkeeping: the adversary's EC graphs of maximum degree
+      [Δ] become PO graphs of maximum degree [2Δ], which is why the
+      paper's conclusion loses only a constant factor;
+    - an OI rule is pushed through PO ⇐ OI (§5.3) and then EC ⇐ PO;
+    - for the ID model the paper's remaining step is Ramsey-based and
+      non-constructive ({!Ramsey} reproduces it as a finite search); a
+      {e concrete} ID algorithm whose outputs are order-invariant on
+      the relevant identifier sets factors through the OI entry point.
+
+    Every entry point returns the adversary's machine-checked outcome:
+    either per-level certificates [0 … Δ-2] (run-time [> Δ-2]) or a
+    concrete failure witness (the algorithm does not solve the
+    problem). *)
+
+(** Adversary against an EC algorithm (identity entry point). *)
+val against_ec :
+  delta:int -> Ld_matching.Packing.algorithm -> Lower_bound.outcome
+
+(** Adversary against a PO algorithm, via §5.1. [delta] is the EC-side
+    maximum degree; the PO algorithm faces degree up to [2 delta]. *)
+val against_po :
+  delta:int -> Ld_matching.Po_packing.algorithm -> Lower_bound.outcome
+
+(** Adversary against an OI rule, via §5.3 then §5.1. *)
+val against_oi : delta:int -> Simulate.oi_rule -> Lower_bound.outcome

@@ -1,0 +1,37 @@
+module G = Ld_graph.Graph
+module Id = Ld_models.Labelled.Id
+
+type t = {
+  ball_graph : Id.t;
+  root : int;
+  original : int array;
+}
+
+let extract idg v ~radius =
+  if radius < 0 then invalid_arg "Ball.extract: negative radius";
+  let g = Id.graph idg in
+  let dist = G.bfs_dist g v in
+  let members =
+    List.filter (fun u -> dist.(u) <= radius) (List.init (G.n g) Fun.id)
+  in
+  let original = Array.of_list members in
+  let index = Hashtbl.create (Array.length original) in
+  Array.iteri (fun i u -> Hashtbl.add index u i) original;
+  (* Edge distance = min endpoint distance + 1 <= radius. *)
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+        if Stdlib.min dist.(a) dist.(b) + 1 <= radius then
+          Some (Hashtbl.find index a, Hashtbl.find index b)
+        else None)
+      (G.edges g)
+  in
+  let ball = G.create (Array.length original) edges in
+  let ids = Array.map (Id.id idg) original in
+  {
+    ball_graph = Id.create ball ids;
+    root = Hashtbl.find index v;
+    original;
+  }
+
+let size t = Array.length t.original

@@ -1,0 +1,27 @@
+(** Identified radius-[t] neighbourhoods — the [τ_t(G, v)] of the ID
+    model (paper §3.1).
+
+    For identifier-based networks the view is not a tree but the actual
+    subgraph: all nodes within distance [t] of the root, together with
+    the edges at distance at most [t] (the distance of an edge being
+    [min] of its endpoints' distances plus one — so edges between two
+    radius-[t] nodes are {e excluded}, matching the paper's convention
+    that loops sit at distance 1).
+
+    The paper's locality condition (1), [A(G, v) = A(τ_t(G, v))], then
+    becomes executable: run the algorithm on the extracted ball (with
+    its original identifiers) and compare the root's output —
+    see [Ld_core.Locality]. *)
+
+type t = {
+  ball_graph : Ld_models.Labelled.Id.t;
+      (** the ball, carrying the original identifiers *)
+  root : int;  (** index of the centre inside [ball_graph] *)
+  original : int array;  (** original node index per ball node *)
+}
+
+(** [extract idg v ~radius]. *)
+val extract : Ld_models.Labelled.Id.t -> int -> radius:int -> t
+
+(** Number of nodes in the ball. *)
+val size : t -> int

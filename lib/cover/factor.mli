@@ -1,0 +1,19 @@
+(** Factor graphs (paper §3.4, Fig. 3).
+
+    The factor graph [FG] of a connected EC graph [G] is the smallest
+    graph that [G] covers — the most concise representation of the
+    global symmetry-breaking information in [G]. We compute it as the
+    quotient of [G] by its coarsest stable colour-refinement partition:
+    properly edge-coloured graphs behave like deterministic automata, so
+    this quotient is exactly the minimal base (cf. Angluin 1980;
+    Leighton 1982). A colour class folding into its own class becomes a
+    loop (semi-edge) in the quotient. *)
+
+(** [factor g] is [(fg, cls)] where [cls.(v)] is the factor node below
+    [v]. The returned pair always satisfies
+    [Lift.is_covering { total = g; base = fg; map = cls }]. *)
+val factor : Ld_models.Ec.t -> Ld_models.Ec.t * int array
+
+(** [is_own_factor g] holds iff the stable partition is discrete, i.e.
+    [g] is (isomorphic to) its own factor graph. *)
+val is_own_factor : Ld_models.Ec.t -> bool

@@ -1,0 +1,56 @@
+(** Graph lifts and covering maps (paper §3.4–3.5).
+
+    A covering map [α : V(H) → V(G)] sends each node of the total graph
+    [H] to a node of the base graph [G] so that the darts at [v] and at
+    [α(v)] are in colour-preserving bijection. An EC loop (semi-edge) of
+    colour [c] on a base node lifts to colour-[c] edges pairing up the
+    fiber (or to loops on unpaired fiber members). *)
+
+type covering = {
+  total : Ld_models.Ec.t;
+  base : Ld_models.Ec.t;
+  map : int array;  (** [map.(v)] is the base node below total node [v]. *)
+}
+
+(** [is_covering c] verifies that [c.map] is a surjective covering map:
+    every total dart of colour [k] at [v] points at a node above the
+    target of the colour-[k] base dart at [map.(v)], and vice versa. *)
+val is_covering : covering -> bool
+
+(** [unfold_loop g ~loop_id] is the 2-lift of Section 4's "unfolding":
+    two disjoint copies of [g] minus the loop, plus one crossing edge of
+    the loop's colour joining the two copies of the loop's node. Copy A
+    keeps the node numbering of [g]; copy B is shifted by [n g]. The
+    crossing edge has the largest edge id of the total graph. *)
+val unfold_loop : Ld_models.Ec.t -> loop_id:int -> covering
+
+(** [double g] is the canonical 2-lift that unfolds {e every} loop at
+    once: two copies of the loop-free part, every loop becoming a
+    crossing edge between the copies of its node. The total graph is
+    simple (loop-free). *)
+val double : Ld_models.Ec.t -> covering
+
+(** [simple_lift g] produces a loop-free lift via a 1-factorisation:
+    every node's fiber has even size [f] (the least even number
+    exceeding the maximum loop count), ordinary edges lift fiberwise,
+    and the [j]-th loop of a node lifts to the [j]-th perfect matching
+    of the complete graph [K_f] — distinct loops use edge-disjoint
+    matchings, so no parallel edges are created. The total has [f * n]
+    nodes (compare [2^loops] for naive repeated unfolding). The result
+    contains no loops; it is a simple graph whenever the base has no
+    parallel edges between a node pair. *)
+val simple_lift : Ld_models.Ec.t -> covering
+
+(** The [f - 1] perfect matchings of the round-robin 1-factorisation of
+    [K_f] ([f] even), each pairing all of [0 .. f-1].
+    @raise Invalid_argument if [f] is odd or non-positive. *)
+val one_factorisation : int -> (int * int) list list
+
+(** [compose outer inner] composes covering maps:
+    [inner.base == outer.total] is required (physical equality of
+    structure is checked with [Ec.equal]).
+    @raise Invalid_argument on mismatch. *)
+val compose : covering -> covering -> covering
+
+(** Identity covering. *)
+val identity : Ld_models.Ec.t -> covering

@@ -1,0 +1,5 @@
+let loopiness g =
+  let fg, _ = Factor.factor g in
+  Ld_models.Ec.min_loops fg
+
+let is_loopy g = loopiness g >= 1

@@ -1,0 +1,13 @@
+(** Loopiness (paper Definition 1).
+
+    An EC graph is [k]-loopy if every node of its factor graph carries at
+    least [k] loops. Loops measure the inability to break local symmetry:
+    a node with a loop always has, in any simple lift, a neighbour with an
+    identical view — the engine behind Lemma 2. *)
+
+(** [loopiness g] is the largest [k] such that [g] is [k]-loopy
+    (0 if some factor node has no loop). *)
+val loopiness : Ld_models.Ec.t -> int
+
+(** [is_loopy g] is [loopiness g >= 1]. *)
+val is_loopy : Ld_models.Ec.t -> bool

@@ -1,0 +1,99 @@
+module Ec = Ld_models.Ec
+module Po = Ld_models.Po
+
+type history = int array array
+
+(* Generic refinement over a dart structure: [darts v] lists pairs of a
+   dart key (colour, direction, ...) and the node at the dart's other
+   end; a loop dart lists the node itself. Labels are interned per call
+   so that equal labels mean structurally identical descriptors. *)
+let refine_generic ~n ~(darts : int -> (int * int) list) ~rounds =
+  let history = Array.make (rounds + 1) [||] in
+  history.(0) <- Array.make n 0;
+  for r = 1 to rounds do
+    let prev = history.(r - 1) in
+    let intern : ((int * (int * int) list), int) Hashtbl.t = Hashtbl.create (2 * n) in
+    let next = Array.make n 0 in
+    for v = 0 to n - 1 do
+      let descriptor =
+        (prev.(v), List.sort compare (List.map (fun (k, u) -> (k, prev.(u))) (darts v)))
+      in
+      let label =
+        match Hashtbl.find_opt intern descriptor with
+        | Some l -> l
+        | None ->
+          let l = Hashtbl.length intern in
+          Hashtbl.add intern descriptor l;
+          l
+      in
+      next.(v) <- label
+    done;
+    history.(r) <- next
+  done;
+  history
+
+let ec_darts g v =
+  List.map
+    (function
+      | Ec.To_neighbour { neighbour; colour; _ } -> (colour, neighbour)
+      | Ec.Into_loop { colour; _ } -> (colour, v))
+    (Ec.darts g v)
+
+let po_darts g v =
+  List.map
+    (function
+      | Po.Out { neighbour; colour; _ } -> ((colour * 2) + 0, neighbour)
+      | Po.In { neighbour; colour; _ } -> ((colour * 2) + 1, neighbour)
+      | Po.Loop_out { colour; _ } -> ((colour * 2) + 0, v)
+      | Po.Loop_in { colour; _ } -> ((colour * 2) + 1, v))
+    (Po.darts g v)
+
+let refine_ec g ~rounds = refine_generic ~n:(Ec.n g) ~darts:(ec_darts g) ~rounds
+let refine_po g ~rounds = refine_generic ~n:(Po.n g) ~darts:(po_darts g) ~rounds
+
+let equivalent_radius g u h v ~radius =
+  let union = Ec.disjoint_union g h in
+  let history = refine_ec union ~rounds:radius in
+  history.(radius).(u) = history.(radius).(Ec.n g + v)
+
+let first_distinguishing_radius g u h v ~max_radius =
+  let union = Ec.disjoint_union g h in
+  let history = refine_ec union ~rounds:max_radius in
+  let rec scan r =
+    if r > max_radius then None
+    else if history.(r).(u) <> history.(r).(Ec.n g + v) then Some r
+    else scan (r + 1)
+  in
+  scan 0
+
+let num_classes labels =
+  List.length (List.sort_uniq compare (Array.to_list labels))
+
+let stable_generic ~n ~darts =
+  (* Refinement stabilises after at most n rounds; stop as soon as the
+     class count stops growing (refinement only ever splits classes). *)
+  let rec go r prev_classes =
+    let history = refine_generic ~n ~darts ~rounds:r in
+    let classes = num_classes history.(r) in
+    if classes = prev_classes || r >= n + 1 then history.(r)
+    else go (r + 1) classes
+  in
+  if n = 0 then [||] else go 1 1
+
+let densify labels =
+  let mapping = Hashtbl.create 16 in
+  Array.map
+    (fun l ->
+      match Hashtbl.find_opt mapping l with
+      | Some d -> d
+      | None ->
+        let d = Hashtbl.length mapping in
+        Hashtbl.add mapping l d;
+        d)
+    labels
+
+let stable_partition_ec g =
+  densify (stable_generic ~n:(Ec.n g) ~darts:(ec_darts g))
+
+let stable_partition_po g =
+  densify (stable_generic ~n:(Po.n g) ~darts:(po_darts g))

@@ -1,0 +1,43 @@
+(** Colour refinement on edge-coloured multigraphs — the exact test for
+    universal-cover view isomorphism.
+
+    Two rooted (multi)graphs have isomorphic radius-[t] universal-cover
+    neighbourhoods [τ_t(UG, u) ≅ τ_t(UH, v)] (paper §3.1) if and only if
+    [t] rounds of colour refinement assign [u] and [v] the same label,
+    where refinement starts from a constant labelling and each round
+    re-labels a node by the sorted list of (dart key, previous label of
+    the dart's other end); a loop dart reflects the node's own label.
+
+    This replaces the paper's infinite universal covers with an exact
+    finite computation: no views are ever materialised. *)
+
+(** Refinement labels after each round: [labels.(r).(v)] is the label of
+    node [v] after [r] rounds, [r = 0 .. rounds]. Labels are small ints,
+    consistent {e within one call} across all nodes (so cross-graph
+    comparisons must go through a disjoint union — see
+    {!equivalent_radius}). *)
+type history = int array array
+
+(** [refine_ec g ~rounds] runs refinement on an EC multigraph. *)
+val refine_ec : Ld_models.Ec.t -> rounds:int -> history
+
+(** [refine_po g ~rounds] runs refinement on a PO multigraph; dart keys
+    carry the direction, so orientation is respected. *)
+val refine_po : Ld_models.Po.t -> rounds:int -> history
+
+(** [equivalent_radius g u h v ~radius] decides
+    [τ_radius(UG, u) ≅ τ_radius(UH, v)] for EC graphs. *)
+val equivalent_radius :
+  Ld_models.Ec.t -> int -> Ld_models.Ec.t -> int -> radius:int -> bool
+
+(** [first_distinguishing_radius g u h v ~max_radius] is the smallest
+    [r <= max_radius] with inequivalent radius-[r] views, if any. *)
+val first_distinguishing_radius :
+  Ld_models.Ec.t -> int -> Ld_models.Ec.t -> int -> max_radius:int -> int option
+
+(** [stable_partition_ec g] refines to a fixpoint and returns the class
+    of every node (classes numbered densely from 0). Nodes in the same
+    class have isomorphic universal-cover views of every radius. *)
+val stable_partition_ec : Ld_models.Ec.t -> int array
+
+val stable_partition_po : Ld_models.Po.t -> int array

@@ -1,0 +1,81 @@
+module Ec = Ld_models.Ec
+
+type t = { branches : (int * t) list }
+
+let of_ec g root ~radius =
+  if radius < 0 then invalid_arg "View.of_ec: negative radius";
+  let rec unfold v banned depth =
+    if depth = 0 then { branches = [] }
+    else begin
+      let follow dart =
+        match dart with
+        | Ec.To_neighbour { neighbour; colour; _ } ->
+          if Some colour = banned then None
+          else Some (colour, unfold neighbour (Some colour) (depth - 1))
+        | Ec.Into_loop { colour; _ } ->
+          if Some colour = banned then None
+          else Some (colour, unfold v (Some colour) (depth - 1))
+      in
+      { branches = List.filter_map follow (Ec.darts g v) }
+    end
+  in
+  unfold root None radius
+
+let rec equal a b =
+  match (a.branches, b.branches) with
+  | [], [] -> true
+  | (ca, ta) :: ra, (cb, tb) :: rb ->
+    ca = cb && equal ta tb && equal { branches = ra } { branches = rb }
+  | _ -> false
+
+let rec compare a b =
+  match (a.branches, b.branches) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (ca, ta) :: ra, (cb, tb) :: rb ->
+    let c = Stdlib.compare ca cb in
+    if c <> 0 then c
+    else begin
+      let c = compare ta tb in
+      if c <> 0 then c else compare { branches = ra } { branches = rb }
+    end
+
+let rec size v = 1 + List.fold_left (fun acc (_, t) -> acc + size t) 0 v.branches
+
+let rec depth v =
+  List.fold_left (fun acc (_, t) -> Stdlib.max acc (1 + depth t)) 0 v.branches
+
+let branch v c = List.assoc_opt c v.branches
+
+let to_ec view =
+  let counter = ref 0 in
+  let edges = ref [] in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let rec walk v id =
+    List.iter
+      (fun (colour, sub) ->
+        let child = fresh () in
+        edges := (id, child, colour) :: !edges;
+        walk sub child)
+      v.branches
+  in
+  let root = fresh () in
+  walk view root;
+  Ec.create ~n:!counter ~edges:!edges ~loops:[]
+
+let rec pp fmt v =
+  if v.branches = [] then Format.pp_print_string fmt "."
+  else begin
+    Format.fprintf fmt "(";
+    List.iteri
+      (fun i (c, sub) ->
+        if i > 0 then Format.fprintf fmt " ";
+        Format.fprintf fmt "%d:%a" c pp sub)
+      v.branches;
+    Format.fprintf fmt ")"
+  end

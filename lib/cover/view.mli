@@ -1,0 +1,36 @@
+(** Explicit universal-cover view trees for EC multigraphs.
+
+    [of_ec g v ~radius:t] is the radius-[t] neighbourhood [τ_t(UG, v)] of
+    the universal cover (paper §3.4), materialised as a rooted tree whose
+    branches are indexed by edge colour. Because the colouring is proper,
+    each node has at most one branch per colour, so structural equality
+    of these trees {e is} isomorphism of the neighbourhoods.
+
+    A loop dart (semi-edge) unfolds into a fresh copy of its own node,
+    exactly as in a simple lift. Beware the [Δ^t] size growth: view trees
+    are for small radii and cross-validation; the scalable equivalence
+    test is {!Refinement}. *)
+
+type t = { branches : (int * t) list }
+(** Branches sorted by colour, colours distinct. A leaf is [{branches = []}]. *)
+
+val of_ec : Ld_models.Ec.t -> int -> radius:int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Number of nodes in the tree (root included). *)
+val size : t -> int
+
+val depth : t -> int
+
+(** [branch v c] is the subtree reached along colour [c], if present. *)
+val branch : t -> int -> t option
+
+(** Materialise the view tree as an EC graph (no loops); the root is
+    node 0. Running any anonymous algorithm for [depth t] rounds on the
+    materialised radius-[t+1] tree reproduces the root's behaviour on
+    the original graph. *)
+val to_ec : t -> Ld_models.Ec.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+module Po = Ld_models.Po
+
+type key = { out : bool; colour : int }
+
+type t = { branches : (key * t) list }
+
+let key_of_dart = function
+  | Po.Out { colour; _ } | Po.Loop_out { colour; _ } -> { out = true; colour }
+  | Po.In { colour; _ } | Po.Loop_in { colour; _ } -> { out = false; colour }
+
+(* The node at a dart's other end, together with the arrival dart key
+   over there. Loops lead to a fiber copy of the node itself. *)
+let cross v = function
+  | Po.Out { neighbour; colour; _ } -> (neighbour, { out = false; colour })
+  | Po.In { neighbour; colour; _ } -> (neighbour, { out = true; colour })
+  | Po.Loop_out { colour; _ } -> (v, { out = false; colour })
+  | Po.Loop_in { colour; _ } -> (v, { out = true; colour })
+
+let of_po g root ~radius =
+  if radius < 0 then invalid_arg "View_po.of_po: negative radius";
+  let rec unfold v banned depth =
+    if depth = 0 then { branches = [] }
+    else begin
+      let follow dart =
+        let key = key_of_dart dart in
+        if Some key = banned then None
+        else begin
+          let target, arrival = cross v dart in
+          Some (key, unfold target (Some arrival) (depth - 1))
+        end
+      in
+      { branches = List.sort compare (List.filter_map follow (Po.darts g v)) }
+    end
+  in
+  unfold root None radius
+
+let rec equal a b =
+  match (a.branches, b.branches) with
+  | [], [] -> true
+  | (ka, ta) :: ra, (kb, tb) :: rb ->
+    ka = kb && equal ta tb && equal { branches = ra } { branches = rb }
+  | _ -> false
+
+let rec size v = 1 + List.fold_left (fun acc (_, t) -> acc + size t) 0 v.branches
+
+let rec depth v =
+  List.fold_left (fun acc (_, t) -> Stdlib.max acc (1 + depth t)) 0 v.branches
+
+let paths view =
+  let acc = ref [] in
+  let rec walk prefix v =
+    acc := List.rev prefix :: !acc;
+    List.iter (fun (k, sub) -> walk (k :: prefix) sub) v.branches
+  in
+  walk [] view;
+  List.rev !acc
+
+let to_po view =
+  let counter = ref 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let arcs = ref [] in
+  let index = ref [] in
+  let rec walk prefix v id =
+    index := (List.rev prefix, id) :: !index;
+    List.iter
+      (fun (k, sub) ->
+        let child = fresh () in
+        if k.out then arcs := (id, child, k.colour) :: !arcs
+        else arcs := (child, id, k.colour) :: !arcs;
+        walk (k :: prefix) sub child)
+      v.branches
+  in
+  let root = fresh () in
+  walk [] view root;
+  (Po.create ~n:!counter ~arcs:(List.rev !arcs) ~loops:[], List.rev !index)
+
+let rec pp fmt v =
+  if v.branches = [] then Format.pp_print_string fmt "."
+  else begin
+    Format.fprintf fmt "(";
+    List.iteri
+      (fun i (k, sub) ->
+        if i > 0 then Format.fprintf fmt " ";
+        Format.fprintf fmt "%s%d:%a" (if k.out then "+" else "-") k.colour pp sub)
+      v.branches;
+    Format.fprintf fmt ")"
+  end

@@ -1,0 +1,36 @@
+(** Universal-cover view trees for PO multigraphs.
+
+    The PO analogue of {!View}: [of_po g v ~radius:t] unfolds
+    [τ_t(UG, v)] as a rooted tree whose branches are indexed by the dart
+    key [(out?, colour)] — legal names because out-colours and
+    in-colours are separately distinct at every node. A directed loop
+    unfolds through its two darts into fresh copies of its node, exactly
+    as in a lift (where the loop becomes a directed cycle through the
+    fiber).
+
+    These trees are the [τ] of the PO ⇐ OI simulation (paper §5.3,
+    Fig. 9): {!paths} exposes each tree node as its step word from the
+    root, ready to be embedded into the infinite tree [T] and ordered by
+    [Ld_order.Tree_order]. *)
+
+type key = { out : bool; colour : int }
+
+type t = { branches : (key * t) list }
+(** Branches sorted by key; keys distinct. *)
+
+val of_po : Ld_models.Po.t -> int -> radius:int -> t
+
+val equal : t -> t -> bool
+val size : t -> int
+val depth : t -> int
+
+(** All nodes of the tree as root-relative step words, in DFS order;
+    the root is [[]]. A step [{out = true; colour}] follows an outgoing
+    arc (the walker is at the tail). *)
+val paths : t -> key list list
+
+(** Materialise the view as a PO graph (no loops). Returns the graph and
+    the node index of each path in {!paths} order; the root is node 0. *)
+val to_po : t -> Ld_models.Po.t * (key list * int) list
+
+val pp : Format.formatter -> t -> unit

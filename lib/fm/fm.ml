@@ -1,0 +1,120 @@
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+
+type t = { graph : Ec.t; edge_w : Q.t array; loop_w : Q.t array }
+
+let create graph ~edge_w ~loop_w =
+  if Array.length edge_w <> Ec.num_edges graph then
+    invalid_arg "Fm.create: edge weight count mismatch";
+  if Array.length loop_w <> Ec.num_loops graph then
+    invalid_arg "Fm.create: loop weight count mismatch";
+  { graph; edge_w; loop_w }
+
+let zero graph =
+  {
+    graph;
+    edge_w = Array.make (Ec.num_edges graph) Q.zero;
+    loop_w = Array.make (Ec.num_loops graph) Q.zero;
+  }
+
+let graph y = y.graph
+let edge_weight y id = y.edge_w.(id)
+let loop_weight y id = y.loop_w.(id)
+
+let dart_weight y = function
+  | Ec.To_neighbour { edge_id; _ } -> y.edge_w.(edge_id)
+  | Ec.Into_loop { loop_id; _ } -> y.loop_w.(loop_id)
+
+let node_weight y v =
+  Q.sum (List.map (dart_weight y) (Ec.darts y.graph v))
+
+let is_saturated y v = Q.equal (node_weight y v) Q.one
+
+let total y =
+  Q.add
+    (Q.sum (Array.to_list y.edge_w))
+    (Q.sum (Array.to_list y.loop_w))
+
+type violation =
+  | Weight_out_of_range of [ `Edge of int | `Loop of int ]
+  | Node_overloaded of int
+  | Unsaturated_edge of int
+  | Unsaturated_loop of int
+
+let in_range w = Q.sign w >= 0 && Q.compare w Q.one <= 0
+
+let validity_violations y =
+  let acc = ref [] in
+  Array.iteri
+    (fun id w -> if not (in_range w) then acc := Weight_out_of_range (`Edge id) :: !acc)
+    y.edge_w;
+  Array.iteri
+    (fun id w -> if not (in_range w) then acc := Weight_out_of_range (`Loop id) :: !acc)
+    y.loop_w;
+  for v = 0 to Ec.n y.graph - 1 do
+    if Q.compare (node_weight y v) Q.one > 0 then acc := Node_overloaded v :: !acc
+  done;
+  List.rev !acc
+
+let maximality_violations y =
+  let acc = ref [] in
+  List.iteri
+    (fun id (e : Ec.edge) ->
+      if not (is_saturated y e.u || is_saturated y e.v) then
+        acc := Unsaturated_edge id :: !acc)
+    (Ec.edges y.graph);
+  List.iteri
+    (fun id (l : Ec.loop) ->
+      if not (is_saturated y l.node) then acc := Unsaturated_loop id :: !acc)
+    (Ec.loops y.graph);
+  List.rev !acc
+
+let is_fm y = validity_violations y = []
+let is_maximal_fm y = is_fm y && maximality_violations y = []
+
+let is_fully_saturated y =
+  let rec go v = v >= Ec.n y.graph || (is_saturated y v && go (v + 1)) in
+  go 0
+
+let equal a b =
+  Ec.equal a.graph b.graph
+  && Array.for_all2 Q.equal a.edge_w b.edge_w
+  && Array.for_all2 Q.equal a.loop_w b.loop_w
+
+let pull_back (cov : Ld_cover.Lift.covering) y =
+  if not (Ec.equal y.graph cov.base) then
+    invalid_arg "Fm.pull_back: matching is not on the covering's base";
+  let base_dart v colour =
+    match Ec.dart_by_colour cov.base v colour with
+    | Some d -> d
+    | None -> invalid_arg "Fm.pull_back: not a covering (missing base dart)"
+  in
+  let edge_w =
+    Array.of_list
+      (List.map
+         (fun (e : Ec.edge) ->
+           dart_weight y (base_dart cov.map.(e.u) e.colour))
+         (Ec.edges cov.total))
+  in
+  let loop_w =
+    Array.of_list
+      (List.map
+         (fun (l : Ec.loop) ->
+           dart_weight y (base_dart cov.map.(l.node) l.colour))
+         (Ec.loops cov.total))
+  in
+  { graph = cov.total; edge_w; loop_w }
+
+let pp fmt y =
+  Format.fprintf fmt "@[<v>fm on %d nodes:@," (Ec.n y.graph);
+  List.iteri
+    (fun id (e : Ec.edge) ->
+      Format.fprintf fmt "  y(%d-%d, colour %d) = %a@," e.u e.v e.colour Q.pp
+        y.edge_w.(id))
+    (Ec.edges y.graph);
+  List.iteri
+    (fun id (l : Ec.loop) ->
+      Format.fprintf fmt "  y(loop@@%d, colour %d) = %a@," l.node l.colour Q.pp
+        y.loop_w.(id))
+    (Ec.loops y.graph);
+  Format.fprintf fmt "@]"

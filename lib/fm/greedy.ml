@@ -1,0 +1,62 @@
+module Ec = Ld_models.Ec
+module G = Ld_graph.Graph
+module Q = Ld_arith.Q
+
+let maximal_fm_in_order g order =
+  let expected =
+    List.init (Ec.num_edges g) (fun i -> `Edge i)
+    @ List.init (Ec.num_loops g) (fun i -> `Loop i)
+  in
+  if List.sort compare order <> List.sort compare expected then
+    invalid_arg "Greedy.maximal_fm_in_order: order is not a permutation";
+  let slack = Array.make (Ec.n g) Q.one in
+  let edge_w = Array.make (Ec.num_edges g) Q.zero in
+  let loop_w = Array.make (Ec.num_loops g) Q.zero in
+  List.iter
+    (fun item ->
+      match item with
+      | `Edge id ->
+        let e = Ec.edge g id in
+        let w = Q.min slack.(e.u) slack.(e.v) in
+        edge_w.(id) <- w;
+        slack.(e.u) <- Q.sub slack.(e.u) w;
+        slack.(e.v) <- Q.sub slack.(e.v) w
+      | `Loop id ->
+        let l = Ec.loop g id in
+        loop_w.(id) <- slack.(l.node);
+        slack.(l.node) <- Q.zero)
+    order;
+  Fm.create g ~edge_w ~loop_w
+
+let maximal_fm g =
+  maximal_fm_in_order g
+    (List.init (Ec.num_edges g) (fun i -> `Edge i)
+    @ List.init (Ec.num_loops g) (fun i -> `Loop i))
+
+let maximal_matching g =
+  let used = Array.make (G.n g) false in
+  List.filter
+    (fun (u, v) ->
+      if used.(u) || used.(v) then false
+      else begin
+        used.(u) <- true;
+        used.(v) <- true;
+        true
+      end)
+    (G.edges g)
+
+let is_maximal_matching g m =
+  let used = Array.make (G.n g) false in
+  let ok_matching =
+    List.for_all
+      (fun (u, v) ->
+        if used.(u) || used.(v) || not (G.has_edge g u v) then false
+        else begin
+          used.(u) <- true;
+          used.(v) <- true;
+          true
+        end)
+      m
+  in
+  ok_matching
+  && List.for_all (fun (u, v) -> used.(u) || used.(v)) (G.edges g)

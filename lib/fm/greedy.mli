@@ -1,0 +1,25 @@
+(** Centralised greedy baselines.
+
+    These are the sequential reference algorithms the distributed ones
+    are compared against: greedy saturation is exactly what the O(Δ) EC
+    algorithm performs, one colour class at a time. *)
+
+(** [maximal_fm g] processes edges, then loops, in id order, assigning
+    each edge the minimum residual slack of its endpoints (a loop gets
+    its node's full residual slack — its lifted edge joins two equally
+    loaded copies). The result is always a maximal FM. *)
+val maximal_fm : Ld_models.Ec.t -> Fm.t
+
+(** [maximal_fm_in_order g order] is the same with an explicit
+    processing order over [`Edge id | `Loop id] items; items must be a
+    permutation of all edges and loops.
+    @raise Invalid_argument otherwise. *)
+val maximal_fm_in_order :
+  Ld_models.Ec.t -> [ `Edge of int | `Loop of int ] list -> Fm.t
+
+(** Greedy maximal (integral) matching of a simple graph, in edge order. *)
+val maximal_matching : Ld_graph.Graph.t -> (int * int) list
+
+(** [is_maximal_matching g m] checks that [m] is a matching and no edge
+    can be added. *)
+val is_maximal_matching : Ld_graph.Graph.t -> (int * int) list -> bool

@@ -1,0 +1,86 @@
+let max_matching ~left ~right adj =
+  if Array.length adj <> left then invalid_arg "Hopcroft_karp: adj length";
+  Array.iter
+    (List.iter (fun v ->
+         if v < 0 || v >= right then invalid_arg "Hopcroft_karp: range"))
+    adj;
+  let inf = max_int in
+  let mate_l = Array.make left (-1) in
+  let mate_r = Array.make right (-1) in
+  let dist = Array.make left inf in
+  let bfs () =
+    let queue = Queue.create () in
+    for u = 0 to left - 1 do
+      if mate_l.(u) < 0 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          match mate_r.(v) with
+          | -1 -> found := true
+          | u' ->
+            if dist.(u') = inf then begin
+              dist.(u') <- dist.(u) + 1;
+              Queue.add u' queue
+            end)
+        adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_neighbours = function
+      | [] ->
+        dist.(u) <- inf;
+        false
+      | v :: rest ->
+        let advance =
+          match mate_r.(v) with
+          | -1 -> true
+          | u' -> dist.(u') = dist.(u) + 1 && dfs u'
+        in
+        if advance then begin
+          mate_l.(u) <- v;
+          mate_r.(v) <- u;
+          true
+        end
+        else try_neighbours rest
+    in
+    try_neighbours adj.(u)
+  in
+  while bfs () do
+    for u = 0 to left - 1 do
+      if mate_l.(u) < 0 then ignore (dfs u)
+    done
+  done;
+  mate_l
+
+let size mate_of_left =
+  Array.fold_left (fun acc m -> if m >= 0 then acc + 1 else acc) 0 mate_of_left
+
+let brute_force_size g =
+  let module G = Ld_graph.Graph in
+  let edges = Array.of_list (G.edges g) in
+  let used = Array.make (G.n g) false in
+  let rec go i =
+    if i = Array.length edges then 0
+    else begin
+      let u, v = edges.(i) in
+      let skip = go (i + 1) in
+      if used.(u) || used.(v) then skip
+      else begin
+        used.(u) <- true;
+        used.(v) <- true;
+        let take = 1 + go (i + 1) in
+        used.(u) <- false;
+        used.(v) <- false;
+        Stdlib.max skip take
+      end
+    end
+  in
+  go 0

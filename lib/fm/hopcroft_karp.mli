@@ -1,0 +1,20 @@
+(** Maximum matching in bipartite graphs (Hopcroft–Karp).
+
+    Substrate for {!Maximum}: the maximum-weight fractional matching of
+    a general graph is computed via its bipartite double cover, whose
+    (integral) maximum matching this module finds in
+    [O(E sqrt(V))] time. *)
+
+(** [max_matching ~left ~right adj] where [adj.(u)] lists the right-side
+    neighbours of left node [u]. Returns [mate_of_left] with
+    [mate_of_left.(u) = -1] for unmatched [u].
+    @raise Invalid_argument on out-of-range neighbour indices. *)
+val max_matching : left:int -> right:int -> int list array -> int array
+
+(** Matching size given a [mate_of_left] array. *)
+val size : int array -> int
+
+(** Brute-force maximum matching on an arbitrary simple graph, by
+    branching on edges — exponential, for cross-checking on graphs with
+    up to ~12 edges. Returns the matching size. *)
+val brute_force_size : Ld_graph.Graph.t -> int

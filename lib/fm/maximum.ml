@@ -1,0 +1,32 @@
+module G = Ld_graph.Graph
+module Q = Ld_arith.Q
+
+let double_cover_matching g =
+  (* Left side = v⁺, right side = v⁻; every edge uv of g contributes
+     u⁺v⁻ and v⁺u⁻. *)
+  let n = G.n g in
+  let adj = Array.init n (fun v -> G.neighbours g v) in
+  Hopcroft_karp.max_matching ~left:n ~right:n adj
+
+let value g =
+  let mate = double_cover_matching g in
+  Q.make (Ld_arith.Z.of_int (Hopcroft_karp.size mate)) (Ld_arith.Z.of_int 2)
+
+let witness g =
+  let mate = double_cover_matching g in
+  List.map
+    (fun (u, v) ->
+      let hits =
+        (if mate.(u) = v then 1 else 0) + (if mate.(v) = u then 1 else 0)
+      in
+      (u, v, Q.of_ints hits 2))
+    (G.edges g)
+
+let ratio y =
+  let g = Fm.graph y in
+  if Ld_models.Ec.num_loops g > 0 then invalid_arg "Maximum.ratio: graph has loops";
+  let opt = value (Ld_models.Ec.to_simple g) in
+  let total = Fm.total y in
+  if Q.is_zero opt then
+    if Q.is_zero total then Q.one else invalid_arg "Maximum.ratio: zero optimum"
+  else Q.div total opt

@@ -1,0 +1,24 @@
+(** Maximum-weight fractional matchings (paper §1.2).
+
+    The fractional matching polytope of a simple graph is half-integral,
+    and its optimum value equals half the maximum matching of the
+    bipartite double cover [B(G)] (nodes [v⁺, v⁻]; edges [u⁺v⁻] and
+    [v⁺u⁻] per edge [uv]): any FM on [G] doubles into a fractional — and
+    by bipartite integrality, integral — matching of [B(G)], and any
+    matching of [B(G)] halves back. Used for the ½-approximation
+    experiment: a maximal FM always has total weight at least half the
+    maximum (Kuhn et al. context in §1.2). *)
+
+(** Maximum fractional matching value [ν_f] of a simple graph, as an
+    exact rational (always an integer multiple of 1/2). *)
+val value : Ld_graph.Graph.t -> Ld_arith.Q.t
+
+(** A maximum-weight fractional matching itself, as weights on
+    [Graph.edges g] in order. Each weight is 0, ½ or 1. *)
+val witness : Ld_graph.Graph.t -> (int * int * Ld_arith.Q.t) list
+
+(** [ratio y] is [total weight of y / ν_f] for a fractional matching on
+    a loop-free EC graph. Maximal FMs satisfy [ratio >= 1/2].
+    @raise Invalid_argument if the graph has loops or [ν_f = 0] with
+    [total y > 0]; if both are zero the ratio is defined as 1. *)
+val ratio : Fm.t -> Ld_arith.Q.t

@@ -1,0 +1,58 @@
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+
+let differing_darts y y' v =
+  if not (Ec.equal (Fm.graph y) (Fm.graph y')) then
+    invalid_arg "Propagation.differing_darts: matchings on different graphs";
+  List.filter
+    (fun d -> not (Q.equal (Fm.dart_weight y d) (Fm.dart_weight y' d)))
+    (Ec.darts (Fm.graph y) v)
+
+let holds_at ~y ~y' v =
+  if Fm.is_saturated y v && Fm.is_saturated y' v then
+    match differing_darts y y' v with
+    | [] -> true
+    | [ _ ] -> false
+    | _ :: _ :: _ -> true
+  else true
+
+type step = { node : int; via : Ec.dart }
+
+type walk_outcome =
+  | Loop_found of { node : int; loop_id : int; trace : step list }
+  | Stuck of { node : int; trace : step list }
+
+(* We stand at [node] knowing that y and y' disagree on its dart of
+   colour [excluded]; by Fact 3 (both matchings saturate every node on
+   the graphs where this walk is used) there must be a second differing
+   dart. A differing loop ends the walk; otherwise we cross the
+   differing edge and repeat with that edge's colour excluded — never
+   backtracking, so on a tree-plus-loops graph the walk terminates. *)
+let walk ~y ~y' ~start ~first =
+  let differs d = not (Q.equal (Fm.dart_weight y d) (Fm.dart_weight y' d)) in
+  if not (differs first) then
+    invalid_arg "Propagation.walk: initial dart does not differ";
+  let bound = (2 * Ec.n (Fm.graph y)) + 2 in
+  let rec go node excluded trace =
+    if List.length trace > bound then
+      failwith "Propagation.walk: no termination (graph is not a tree plus loops?)";
+    let candidates =
+      List.filter
+        (fun d -> differs d && Ec.dart_colour d <> excluded)
+        (Ec.darts (Fm.graph y) node)
+    in
+    let loops, edges =
+      List.partition (function Ec.Into_loop _ -> true | Ec.To_neighbour _ -> false)
+        candidates
+    in
+    match (loops, edges) with
+    | (Ec.Into_loop { loop_id; _ } as d) :: _, _ ->
+      Loop_found { node; loop_id; trace = List.rev ({ node; via = d } :: trace) }
+    | [], (Ec.To_neighbour { neighbour; colour; _ } as d) :: _ ->
+      go neighbour colour ({ node; via = d } :: trace)
+    | [], [] -> Stuck { node; trace = List.rev trace }
+    | Ec.To_neighbour _ :: _, _ | [], Ec.Into_loop _ :: _ ->
+      (* impossible by the partition *)
+      assert false
+  in
+  go start (Ec.dart_colour first) [ { node = start; via = first } ]

@@ -1,0 +1,41 @@
+(** The propagation principle (paper Fact 3 / Fact 8) and the
+    disagreement walk of §4.3.
+
+    If two fractional matchings both saturate a node [v] and disagree on
+    some dart at [v], they must disagree on at least one other dart at
+    [v] — disagreements cannot stop at saturated nodes. On a graph that
+    is a tree apart from its loops, following disagreements away from a
+    starting dart therefore terminates at a loop on which the two
+    matchings disagree. *)
+
+(** Darts at [v] on which the two matchings assign different weights.
+    @raise Invalid_argument if the matchings live on different graphs. *)
+val differing_darts :
+  Fm.t -> Fm.t -> int -> Ld_models.Ec.dart list
+
+(** [holds_at ~y ~y' v] checks Fact 3 at [v]: if both saturate [v] and
+    some dart differs, at least two darts differ. *)
+val holds_at : y:Fm.t -> y':Fm.t -> int -> bool
+
+type step = { node : int; via : Ld_models.Ec.dart }
+
+type walk_outcome =
+  | Loop_found of { node : int; loop_id : int; trace : step list }
+      (** A loop with differing weights was reached; [trace] lists the
+          darts followed, starting with the initial one. *)
+  | Stuck of { node : int; trace : step list }
+      (** No further differing dart — possible only if the propagation
+          principle's premises fail (e.g. an unsaturated node). *)
+
+(** [walk ~y ~y' ~start ~first] runs the disagreement walk of §4.3:
+    standing at [start], where dart [first] is known to differ, look for
+    a {e second} differing dart (Fact 3). A differing loop ends the walk;
+    a differing edge is crossed and the search repeats at the neighbour
+    with the crossed colour excluded — the walk never backtracks, so it
+    terminates whenever the graph is a tree once loops are ignored
+    (property P3).
+    @raise Invalid_argument if [first] does not differ at [start].
+    @raise Failure if the walk exceeds [2n] steps (non-tree misuse). *)
+val walk :
+  y:Fm.t -> y':Fm.t -> start:int -> first:Ld_models.Ec.dart ->
+  walk_outcome

@@ -1,0 +1,46 @@
+module Ec = Ld_models.Ec
+module G = Ld_graph.Graph
+module Q = Ld_arith.Q
+
+let of_fm y =
+  List.filter (Fm.is_saturated y) (List.init (Ec.n (Fm.graph y)) Fun.id)
+
+let is_vertex_cover g nodes =
+  let in_cover = Array.make (Ec.n g) false in
+  List.iter (fun v -> in_cover.(v) <- true) nodes;
+  List.for_all (fun (e : Ec.edge) -> in_cover.(e.u) || in_cover.(e.v)) (Ec.edges g)
+  && List.for_all (fun (l : Ec.loop) -> in_cover.(l.node)) (Ec.loops g)
+
+let minimum_size g =
+  (* Branch on an uncovered edge: one endpoint must join the cover. *)
+  let covered = Array.make (G.n g) false in
+  let edges = Array.of_list (G.edges g) in
+  let rec go i acc best =
+    if acc >= best then best
+    else if i = Array.length edges then acc
+    else begin
+      let u, v = edges.(i) in
+      if covered.(u) || covered.(v) then go (i + 1) acc best
+      else begin
+        covered.(u) <- true;
+        let best = go (i + 1) (acc + 1) best in
+        covered.(u) <- false;
+        covered.(v) <- true;
+        let best = go (i + 1) (acc + 1) best in
+        covered.(v) <- false;
+        best
+      end
+    end
+  in
+  go 0 0 max_int
+
+let approximation_ratio y =
+  let g = Fm.graph y in
+  if Ec.num_loops g > 0 then
+    invalid_arg "Vertex_cover.approximation_ratio: graph has loops";
+  let cover = of_fm y in
+  let opt = minimum_size (Ec.to_simple g) in
+  if opt = 0 then
+    if cover = [] then Q.one
+    else invalid_arg "Vertex_cover.approximation_ratio: zero optimum"
+  else Q.of_ints (List.length cover) opt

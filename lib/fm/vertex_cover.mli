@@ -1,0 +1,33 @@
+(** Vertex covers from maximal edge packings.
+
+    The original application of the O(Δ) maximal edge packing
+    (Åstrand–Suomela 2010 [3], Åstrand et al. 2009 [4]): by LP duality,
+    the saturated nodes of a maximal fractional matching form a
+    2-approximation of the minimum vertex cover —
+
+    - {e cover}: an edge with no saturated endpoint would contradict
+      maximality;
+    - {e factor 2}: [|C| = Σ_{v saturated} 1 <= Σ_v y[v] <= 2 Σ_e y(e)
+      <= 2 τ*] (each edge weight is counted at its two endpoints, and
+      the LP optimum lower-bounds any integral cover).
+
+    So the Ω(Δ) lower bound of this paper is simultaneously a lower
+    bound for the canonical distributed 2-approximation of vertex
+    cover. *)
+
+(** Saturated nodes of a fractional matching. *)
+val of_fm : Fm.t -> int list
+
+(** [is_vertex_cover g nodes] — every edge has an endpoint in [nodes]
+    (loops require their node). *)
+val is_vertex_cover : Ld_models.Ec.t -> int list -> bool
+
+(** Exact minimum vertex cover size by branching on uncovered edges;
+    exponential, for graphs with at most ~20 edges (tests and the
+    approximation bench). *)
+val minimum_size : Ld_graph.Graph.t -> int
+
+(** [approximation_ratio y] is [|saturated| / τ(G)] for a maximal FM on
+    a loop-free graph; always between 1 and 2.
+    @raise Invalid_argument on loops, or τ = 0 with a nonempty cover. *)
+val approximation_ratio : Fm.t -> Ld_arith.Q.t

@@ -1,0 +1,227 @@
+let path n =
+  if n < 1 then invalid_arg "Generators.path";
+  Graph.create n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle";
+  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star k =
+  if k < 0 then invalid_arg "Generators.star";
+  Graph.create (k + 1) (List.init k (fun i -> (0, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.create n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = 0 to b - 1 do
+      es := (u, a + v) :: !es
+    done
+  done;
+  Graph.create (a + b) !es
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := (id r c, id r (c + 1)) :: !es;
+      if r + 1 < rows then es := (id r c, id (r + 1) c) :: !es
+    done
+  done;
+  Graph.create (rows * cols) !es
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Generators.hypercube";
+  let n = 1 lsl d in
+  let es = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then es := (v, w) :: !es
+    done
+  done;
+  Graph.create n !es
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Generators.binary_tree";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := ((v - 1) / 2, v) :: !es
+  done;
+  Graph.create n !es
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let es = ref [] in
+  for i = 0 to spine - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      es := (i, spine + (i * legs) + l) :: !es
+    done
+  done;
+  Graph.create (spine + (spine * legs)) !es
+
+let spider ~delta ~tail =
+  if delta < 1 || tail < 1 then invalid_arg "Generators.spider";
+  (* centre 0; leg i occupies nodes 1 + i*tail .. 1 + i*tail + (tail-1) *)
+  let es = ref [] in
+  for i = 0 to delta - 1 do
+    let base = 1 + (i * tail) in
+    es := (0, base) :: !es;
+    for j = 0 to tail - 2 do
+      es := (base + j, base + j + 1) :: !es
+    done
+  done;
+  Graph.create (1 + (delta * tail)) !es
+
+let random_tree ~seed n =
+  if n < 1 then invalid_arg "Generators.random_tree";
+  if n = 1 then Graph.create 1 []
+  else if n = 2 then Graph.create 2 [ (0, 1) ]
+  else begin
+    let rng = Random.State.make [| seed; n; 0x7ee |] in
+    let pruefer = Array.init (n - 2) (fun _ -> Random.State.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) pruefer;
+    (* Standard Prüfer decoding with a pointer-and-leaf scan. *)
+    let es = ref [] in
+    let ptr = ref 0 in
+    while deg.(!ptr) <> 1 do
+      incr ptr
+    done;
+    let leaf = ref !ptr in
+    Array.iter
+      (fun v ->
+        es := (!leaf, v) :: !es;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 && v < !ptr then leaf := v
+        else begin
+          incr ptr;
+          while deg.(!ptr) <> 1 do
+            incr ptr
+          done;
+          leaf := !ptr
+        end)
+      pruefer;
+    es := (!leaf, n - 1) :: !es;
+    Graph.create n (List.map (fun (u, v) -> (Stdlib.min u v, Stdlib.max u v)) !es)
+  end
+
+let random_gnp ~seed n p =
+  if n < 0 || p < 0.0 || p > 1.0 then invalid_arg "Generators.random_gnp";
+  let rng = Random.State.make [| seed; n; 0x61f |] in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then es := (u, v) :: !es
+    done
+  done;
+  Graph.create n !es
+
+let random_regular ~seed n d =
+  if d < 0 || d >= n || (n * d) mod 2 <> 0 then
+    invalid_arg "Generators.random_regular";
+  let rng = Random.State.make [| seed; n; d; 0x2e9 |] in
+  let attempt () =
+    (* Configuration model: pair up n*d stubs uniformly at random and
+       reject on loops/multi-edges. *)
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    for i = Array.length stubs - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- tmp
+    done;
+    let seen = Hashtbl.create (n * d) in
+    let ok = ref true in
+    let es = ref [] in
+    let i = ref 0 in
+    while !ok && !i < Array.length stubs do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (Stdlib.min u v, Stdlib.max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        es := key :: !es
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some (Graph.create n !es) else None
+  in
+  let rec retry k =
+    if k = 0 then failwith "Generators.random_regular: too many retries"
+    else
+      match attempt () with
+      | Some g -> g
+      | None -> retry (k - 1)
+  in
+  retry 5000
+
+let random_bounded_degree ~seed n max_deg =
+  if n < 0 || max_deg < 0 then invalid_arg "Generators.random_bounded_degree";
+  let rng = Random.State.make [| seed; n; max_deg; 0x90d |] in
+  let deg = Array.make n 0 in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  (* Shuffle candidate edges, then greedily keep those respecting the
+     degree bound with probability favouring a dense-but-bounded graph. *)
+  let arr = Array.of_list !pairs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let es = ref [] in
+  Array.iter
+    (fun (u, v) ->
+      if deg.(u) < max_deg && deg.(v) < max_deg && Random.State.bool rng then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        es := (u, v) :: !es
+      end)
+    arr;
+  Graph.create n !es
+
+let bench_families =
+  let clamp lo v = Stdlib.max lo v in
+  [
+    ( "path",
+      fun ~seed:_ ~n ~delta:_ -> path (clamp 2 n) );
+    ( "cycle",
+      fun ~seed:_ ~n ~delta:_ -> cycle (clamp 3 n) );
+    ( "star",
+      fun ~seed:_ ~n:_ ~delta -> star (clamp 1 delta) );
+    ( "spider",
+      fun ~seed:_ ~n:_ ~delta -> spider ~delta:(clamp 2 delta) ~tail:3 );
+    ( "caterpillar",
+      fun ~seed:_ ~n ~delta ->
+        caterpillar ~spine:(clamp 2 (n / clamp 1 delta)) ~legs:(clamp 1 (delta - 2)) );
+    ( "random-tree",
+      fun ~seed ~n ~delta:_ -> random_tree ~seed (clamp 2 n) );
+    ( "random-regular",
+      fun ~seed ~n ~delta ->
+        let d = clamp 2 delta in
+        let n = clamp (d + 1) n in
+        let n = if n * d mod 2 = 0 then n else n + 1 in
+        random_regular ~seed n d );
+    ( "bounded-gnp",
+      fun ~seed ~n ~delta -> random_bounded_degree ~seed (clamp 2 n) (clamp 1 delta) );
+  ]

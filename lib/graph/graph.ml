@@ -1,0 +1,160 @@
+type t = { n : int; adj : int list array; m : int }
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create (List.length edge_list) in
+  let add_edge (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.create: endpoint out of range";
+    if u = v then invalid_arg "Graph.create: self-loop";
+    let key = (Stdlib.min u v, Stdlib.max u v) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+    Hashtbl.add seen key ();
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v)
+  in
+  List.iter add_edge edge_list;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { n; adj; m = List.length edge_list }
+
+let n g = g.n
+let m g = g.m
+let neighbours g v = g.adj.(v)
+let degree g v = List.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc l -> Stdlib.max acc (List.length l)) 0 g.adj
+
+let has_edge g u v = List.mem v g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let fold_edges f init g = List.fold_left (fun acc e -> f e acc) init (edges g)
+
+let bfs_dist g source =
+  let dist = Array.make g.n max_int in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  dist
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let count = ref 0 in
+  for v = 0 to g.n - 1 do
+    if comp.(v) < 0 then begin
+      let id = !count in
+      incr count;
+      let queue = Queue.create () in
+      comp.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun w ->
+            if comp.(w) < 0 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+          g.adj.(u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let is_connected g = g.n <= 1 || snd (components g) = 1
+
+let disjoint_union g1 g2 =
+  let shift = g1.n in
+  let edges2 = List.map (fun (u, v) -> (u + shift, v + shift)) (edges g2) in
+  create (g1.n + g2.n) (edges g1 @ edges2)
+
+let induced g nodes =
+  let nodes = List.sort_uniq compare nodes in
+  let old_of_new = Array.of_list nodes in
+  let new_of_old = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun i v -> Hashtbl.add new_of_old v i) old_of_new;
+  let keep = fun v -> Hashtbl.mem new_of_old v in
+  let es =
+    fold_edges
+      (fun (u, v) acc ->
+        if keep u && keep v then
+          (Hashtbl.find new_of_old u, Hashtbl.find new_of_old v) :: acc
+        else acc)
+      [] g
+  in
+  (create (Array.length old_of_new) es, old_of_new)
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: bad permutation";
+  create g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let is_isomorphic_small g1 g2 =
+  if g1.n <> g2.n || g1.m <> g2.m then false
+  else begin
+    let n = g1.n in
+    let image = Array.make n (-1) in
+    let used = Array.make n false in
+    (* Map node [v] of g1 to candidates in g2 respecting already-placed
+       adjacency, by straightforward backtracking. *)
+    let rec place v =
+      if v = n then true
+      else begin
+        let rec try_candidates c =
+          if c = n then false
+          else if
+            (not used.(c))
+            && degree g1 v = degree g2 c
+            && List.for_all
+                 (fun w ->
+                   image.(w) < 0 || has_edge g2 image.(w) c)
+                 g1.adj.(v)
+            && List.for_all
+                 (fun w -> image.(w) < 0 || List.mem image.(w) g2.adj.(c))
+                 g1.adj.(v)
+            &&
+            (* non-neighbours must stay non-neighbours *)
+            let ok = ref true in
+            for w = 0 to v - 1 do
+              if image.(w) >= 0 then
+                if has_edge g1 v w <> has_edge g2 c image.(w) then ok := false
+            done;
+            !ok
+          then begin
+            image.(v) <- c;
+            used.(c) <- true;
+            if place (v + 1) then true
+            else begin
+              image.(v) <- -1;
+              used.(c) <- false;
+              try_candidates (c + 1)
+            end
+          end
+          else try_candidates (c + 1)
+        in
+        try_candidates 0
+      end
+    in
+    place 0
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "@[graph(n=%d, m=%d:" g.n g.m;
+  List.iter (fun (u, v) -> Format.fprintf fmt " %d-%d" u v) (edges g);
+  Format.fprintf fmt ")@]"

@@ -1,0 +1,61 @@
+(** Simple undirected graphs.
+
+    Nodes are integers [0 .. n-1]; the structure is immutable after
+    construction. Parallel edges and self-loops are rejected — multigraphs
+    with loops (the EC/PO objects of the paper) live in [Ld_models]. *)
+
+type t
+
+(** [create n edges] builds a graph on [n] nodes.
+    @raise Invalid_argument on out-of-range endpoints, self-loops or
+    duplicate edges. *)
+val create : int -> (int * int) list -> t
+
+(** Number of nodes. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** All edges, each as [(u, v)] with [u < v], in sorted order. *)
+val edges : t -> (int * int) list
+
+(** Sorted neighbour list. *)
+val neighbours : t -> int -> int list
+
+val degree : t -> int -> int
+
+(** Maximum degree Δ; 0 for the empty graph. *)
+val max_degree : t -> int
+
+val has_edge : t -> int -> int -> bool
+
+(** [fold_edges f init g] folds over edges [(u, v)], [u < v]. *)
+val fold_edges : ((int * int) -> 'a -> 'a) -> 'a -> t -> 'a
+
+(** [bfs_dist g v] is the array of hop distances from [v];
+    unreachable nodes get [max_int]. *)
+val bfs_dist : t -> int -> int array
+
+(** [components g] is [(comp, k)]: component index per node and the
+    number of components. *)
+val components : t -> int array * int
+
+val is_connected : t -> bool
+
+(** Disjoint union; nodes of the second graph are shifted by [n g1]. *)
+val disjoint_union : t -> t -> t
+
+(** [induced g nodes] is the subgraph induced by [nodes] together with
+    the mapping from new indices to original nodes. *)
+val induced : t -> int list -> t * int array
+
+(** [relabel g perm] renames node [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. n-1]. *)
+val relabel : t -> int array -> t
+
+(** [is_isomorphic_small g1 g2] decides isomorphism by backtracking;
+    intended for graphs with at most ~10 nodes (tests only). *)
+val is_isomorphic_small : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+module Fm = Ld_fm.Fm
+module Anon = Ld_runtime.Anon_ec
+
+let approximation_bound = Q.of_ints 1 4
+
+type state = {
+  frozen : bool; (* y[v] >= 1/2: my edges stop doubling *)
+  dart_w : (int * Q.t) list; (* final weight per dart colour *)
+  colours : int list;
+  rounds_left : int;
+}
+
+let node_weight s =
+  Q.sum (List.map snd s.dart_w)
+
+let machine ~k : (state, bool) Anon.machine =
+  {
+    init =
+      (fun ~degree ~colours ->
+        let w = Q.div Q.one (Q.of_int (1 lsl k)) in
+        {
+          (* already half-saturated by the uniform start? *)
+          frozen = Q.compare (Q.mul (Q.of_int degree) w) Q.half >= 0;
+          dart_w = List.map (fun c -> (c, w)) colours;
+          colours;
+          rounds_left = k + 1;
+        });
+    (* Announce whether I am frozen. *)
+    send = (fun s ~colour:_ -> s.frozen);
+    recv =
+      (fun s inbox ->
+        (* A dart doubles iff neither endpoint was frozen at round start. *)
+        let dart_w =
+          List.map
+            (fun (c, w) ->
+              let their_frozen =
+                Option.value ~default:false (List.assoc_opt c inbox)
+              in
+              if s.frozen || their_frozen then (c, w) else (c, Q.add w w))
+            s.dart_w
+        in
+        let s = { s with dart_w; rounds_left = s.rounds_left - 1 } in
+        { s with frozen = s.frozen || Q.compare (node_weight s) Q.half >= 0 });
+    halted = (fun s -> s.rounds_left <= 0);
+  }
+
+let run ~delta g =
+  if delta < 1 || delta < Ec.max_degree g then
+    invalid_arg "Approx_packing.run: delta below the maximum degree";
+  let rec log2_ceil k = if 1 lsl k >= delta then k else log2_ceil (k + 1) in
+  let k = log2_ceil 0 in
+  let rounds = k + 1 in
+  let states = Anon.run (machine ~k) ~rounds g in
+  let weight_at v c =
+    Option.value ~default:Q.zero (List.assoc_opt c states.(v).dart_w)
+  in
+  let edge_w =
+    Array.of_list
+      (List.map
+         (fun (e : Ec.edge) ->
+           let wu = weight_at e.u e.colour and wv = weight_at e.v e.colour in
+           assert (Q.equal wu wv);
+           wu)
+         (Ec.edges g))
+  in
+  let loop_w =
+    Array.of_list
+      (List.map (fun (l : Ec.loop) -> weight_at l.node l.colour) (Ec.loops g))
+  in
+  (Fm.create g ~edge_w ~loop_w, rounds)

@@ -1,0 +1,26 @@
+(** Constant-factor approximate fractional matching in [O(log Δ)]
+    rounds — the contrast class of §1.2.
+
+    Kuhn–Moscibroda–Wattenhofer [16–18] show that constant-factor
+    approximations of the {e maximum-weight} fractional matching take
+    [Θ(log Δ)] rounds. This module implements the classic doubling
+    scheme on that side of the gap:
+
+    every edge starts at weight [2^-K] (with [2^K >= Δ], so the start
+    is feasible), and in each round doubles unless an endpoint is
+    {e half-saturated} ([y[v] >= 1/2]). After [K + 1] rounds every edge
+    has a half-saturated endpoint: the half-saturated nodes form a
+    vertex cover [C] with [|C| <= 4 Σ y], and weak LP duality gives
+    [Σ y >= ν_f / 4] — a ¼-approximation in logarithmically many
+    rounds, against the [Θ(Δ)] needed for {e maximality}. The gap
+    between these two is exactly what Theorem 1 establishes. *)
+
+(** [run ~delta g] — [delta] is the global maximum degree the
+    algorithm is told (must be [>= max_degree g]). Returns the packing
+    and the number of rounds, [ceil(log2 delta) + 1].
+    @raise Invalid_argument if [delta < 1] or smaller than a degree. *)
+val run : delta:int -> Ld_models.Ec.t -> Ld_fm.Fm.t * int
+
+(** Lower bound on the quality: [total >= ν_f / 4] (checked exactly in
+    the tests via {!Ld_fm.Maximum}). *)
+val approximation_bound : Ld_arith.Q.t

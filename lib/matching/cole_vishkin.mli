@@ -1,0 +1,29 @@
+(** Cole–Vishkin colour reduction on rooted forests.
+
+    The [log* n] engine inside Panconesi–Rizzi: starting from distinct
+    identifiers, one synchronous step rewrites a node's colour as
+    [2 i + b], where [i] is the lowest bit position at which its colour
+    differs from its parent's and [b] the node's bit there. Child and
+    parent colours stay distinct, and [m]-bit colours shrink to
+    [O(log m)] bits, reaching the 6-colour fixpoint after [log* + O(1)]
+    iterations. Roots measure against a virtual parent. *)
+
+(** Bits needed to represent [x >= 0] ([bits_needed 0 = 1]). *)
+val bits_needed : int -> int
+
+(** One reduction step. @raise Invalid_argument if [mine = parent]. *)
+val step : mine:int -> parent:int -> int
+
+(** The virtual parent colour a root compares against (differs from its
+    own colour). *)
+val virtual_parent : int -> int
+
+(** Iterations guaranteed to bring [bits]-bit colours below 6. *)
+val iterations_for_bits : int -> int
+
+(** [reduce_forest ~parent ~init] runs the synchronous reduction until
+    all colours are below 6 — a sequential reference implementation for
+    testing the distributed one. [parent.(v) = -1] marks roots. Returns
+    final colours and the iteration count.
+    @raise Invalid_argument if [init] clashes along an edge. *)
+val reduce_forest : parent:int array -> init:int array -> int array * int

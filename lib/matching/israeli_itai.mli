@@ -1,0 +1,29 @@
+(** Randomised maximal matching in [O(log n)] rounds (paper §1.1;
+    Israeli–Itai 1986 [14]).
+
+    The classic proposal scheme: in each iteration every unmatched node
+    flips a coin to become a proposer or a responder; proposers send a
+    proposal along one uniformly random live edge; responders accept
+    the lowest-port proposal, forming a matched pair. Matched nodes
+    announce themselves, and a node halts once it is matched or has no
+    live neighbours left — at which point every one of its edges has a
+    matched endpoint, so the union of pairs is a maximal matching.
+
+    A constant fraction of live edges disappears per iteration in
+    expectation, so the algorithm halts in [O(log n)] rounds with high
+    probability — the randomised baseline the paper contrasts with the
+    deterministic [Δ]-dependent world. *)
+
+type result = {
+  mate : int option array;  (** per node: matched partner (node index) *)
+  rounds : int;
+}
+
+(** [run ~seed ~max_rounds idg].
+    @raise Failure if some node has not halted after [max_rounds]
+    (probability vanishing in [max_rounds]). *)
+val run :
+  seed:int -> max_rounds:int -> Ld_models.Labelled.Id.t -> result
+
+(** The matched pairs are disjoint and every edge is covered. *)
+val is_maximal : Ld_graph.Graph.t -> result -> bool

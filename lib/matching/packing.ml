@@ -1,0 +1,185 @@
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+module Fm = Ld_fm.Fm
+module Anon = Ld_runtime.Anon_ec
+
+(* Shared extraction: both machines accumulate, per node, the weight
+   assigned to each dart colour. The weight of an edge is read at either
+   endpoint (they agree — asserted); a loop's weight is read at its node. *)
+let fm_of_weights g weight_at =
+  let edge_w =
+    Array.of_list
+      (List.map
+         (fun (e : Ec.edge) ->
+           let wu = weight_at e.u e.colour and wv = weight_at e.v e.colour in
+           assert (Q.equal wu wv);
+           wu)
+         (Ec.edges g))
+  in
+  let loop_w =
+    Array.of_list
+      (List.map (fun (l : Ec.loop) -> weight_at l.node l.colour) (Ec.loops g))
+  in
+  Fm.create g ~edge_w ~loop_w
+
+(* ------------------------------------------------------------------ *)
+(* Greedy by colour: phase c handles exactly the colour-c edges.       *)
+
+type greedy_state = {
+  g_phase : int; (* colour processed in the next round *)
+  g_slack : Q.t;
+  g_weights : (int * Q.t) list;
+  g_last : int; (* largest own colour; halted once phase exceeds it *)
+}
+
+let greedy_machine : (greedy_state, Q.t) Anon.machine =
+  {
+    init =
+      (fun ~degree:_ ~colours ->
+        {
+          g_phase = 1;
+          g_slack = Q.one;
+          g_weights = [];
+          g_last = List.fold_left Stdlib.max 0 colours;
+        });
+    send = (fun s ~colour:_ -> s.g_slack);
+    recv =
+      (fun s inbox ->
+        let s =
+          match List.assoc_opt s.g_phase inbox with
+          | None -> s
+          | Some their_slack ->
+            let w = Q.min s.g_slack their_slack in
+            {
+              s with
+              g_weights = (s.g_phase, w) :: s.g_weights;
+              g_slack = Q.sub s.g_slack w;
+            }
+        in
+        { s with g_phase = s.g_phase + 1 });
+    halted = (fun s -> s.g_phase > s.g_last);
+  }
+
+let greedy_rounds g = Ec.max_colour g
+
+let greedy_by_colour ?truncate g =
+  let rounds =
+    match truncate with
+    | None -> greedy_rounds g
+    | Some r ->
+      if r < 0 then invalid_arg "Packing.greedy_by_colour: negative truncation";
+      Stdlib.min r (greedy_rounds g)
+  in
+  let states = Anon.run greedy_machine ~rounds g in
+  fm_of_weights g (fun v c ->
+      match List.assoc_opt c states.(v).g_weights with
+      | Some w -> w
+      | None -> Q.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Simultaneous proposal.                                              *)
+
+type proposal_msg = { p_offer : Q.t; p_sat : bool }
+
+type proposal_state = {
+  p_slack : Q.t;
+  p_dead : int list; (* dart colours known dead *)
+  p_weights : (int * Q.t) list;
+  p_colours : int list;
+}
+
+let live_colours s = List.filter (fun c -> not (List.mem c s.p_dead)) s.p_colours
+
+let my_offer s =
+  let live = live_colours s in
+  if live = [] || Q.is_zero s.p_slack then Q.zero
+  else Q.div s.p_slack (Q.of_int (List.length live))
+
+let proposal_machine : (proposal_state, proposal_msg) Anon.machine =
+  {
+    init =
+      (fun ~degree:_ ~colours ->
+        { p_slack = Q.one; p_dead = []; p_weights = []; p_colours = colours });
+    send =
+      (fun s ~colour:_ -> { p_offer = my_offer s; p_sat = Q.is_zero s.p_slack });
+    recv =
+      (fun s inbox ->
+        let offer = my_offer s in
+        let i_am_sat = Q.is_zero s.p_slack in
+        let increments =
+          List.filter_map
+            (fun (c, m) ->
+              if List.mem c s.p_dead then None
+              else Some (c, Q.min offer m.p_offer))
+            inbox
+        in
+        let gained = Q.sum (List.map snd increments) in
+        let weights =
+          List.fold_left
+            (fun acc (c, inc) ->
+              if Q.is_zero inc then acc
+              else begin
+                let prev = Option.value ~default:Q.zero (List.assoc_opt c acc) in
+                (c, Q.add prev inc) :: List.remove_assoc c acc
+              end)
+            s.p_weights increments
+        in
+        let slack = Q.sub s.p_slack gained in
+        let now_sat = Q.is_zero slack in
+        let dead =
+          List.filter
+            (fun c ->
+              (not (List.mem c s.p_dead))
+              && (i_am_sat || now_sat
+                 ||
+                 match List.assoc_opt c inbox with
+                 | Some m -> m.p_sat
+                 | None -> false))
+            s.p_colours
+          @ s.p_dead
+        in
+        { s with p_slack = slack; p_dead = dead; p_weights = weights });
+    halted =
+      (fun s -> List.for_all (fun c -> List.mem c s.p_dead) s.p_colours);
+  }
+
+let proposal ?truncate g =
+  let states, rounds =
+    match truncate with
+    | None ->
+      (* The globally minimal offerer saturates every round, so n + 2
+         rounds always suffice; the +2 covers the death-notification lag. *)
+      Anon.run_until proposal_machine ~max_rounds:(Ec.n g + 2) g
+    | Some r ->
+      if r < 0 then invalid_arg "Packing.proposal: negative truncation";
+      (Anon.run proposal_machine ~rounds:r g, r)
+  in
+  let fm =
+    fm_of_weights g (fun v c ->
+        match List.assoc_opt c states.(v).p_weights with
+        | Some w -> w
+        | None -> Q.zero)
+  in
+  (fm, rounds)
+
+(* ------------------------------------------------------------------ *)
+
+type algorithm = { name : string; run : Ec.t -> Fm.t }
+
+let greedy_algorithm = { name = "greedy-by-colour"; run = greedy_by_colour ?truncate:None }
+
+let proposal_algorithm =
+  { name = "proposal"; run = (fun g -> fst (proposal g)) }
+
+let truncated base r =
+  match base with
+  | `Greedy ->
+    {
+      name = Printf.sprintf "greedy-by-colour[%d rounds]" r;
+      run = (fun g -> greedy_by_colour ~truncate:r g);
+    }
+  | `Proposal ->
+    {
+      name = Printf.sprintf "proposal[%d rounds]" r;
+      run = (fun g -> fst (proposal ~truncate:r g));
+    }

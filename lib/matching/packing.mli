@@ -1,0 +1,51 @@
+(** Distributed maximal edge packing (maximal fractional matching) in the
+    EC model — the [O(Δ)] upper bound that Theorem 1 proves optimal
+    (Åstrand–Suomela 2010 [3]; "greedy is optimal",
+    Hirvonen–Suomela 2012 [13]).
+
+    Two algorithms:
+
+    {b Greedy by colour.} In phase [c = 1, 2, …, k] every edge of colour
+    [c] takes the minimum residual slack of its endpoints. After phase
+    [c] one endpoint of every colour-[c] edge is saturated (or was
+    saturated before), so after [k = O(Δ)] single-round phases the
+    packing is maximal. This is the canonical adversary target.
+
+    {b Simultaneous proposal.} Every node splits its slack evenly among
+    its live darts (darts whose endpoints are both unsaturated); each
+    live edge grows by the minimum of its two offers. The node with the
+    globally minimal offer saturates, so at most [n] iterations are
+    needed; empirically the round count tracks [O(Δ)] on bounded-degree
+    families — the benchmark compares both.
+
+    Both run on arbitrary EC multigraphs through the loop-reflecting
+    runner, hence both are lift-invariant by construction, as the EC
+    model demands. *)
+
+(** [greedy_by_colour ?truncate g] runs [min truncate k] phases, where
+    [k] is the number of colours of [g] (one communication round per
+    phase). Without [truncate], the result is always a maximal FM.
+    The communication-round count is exactly [min truncate k]. *)
+val greedy_by_colour : ?truncate:int -> Ld_models.Ec.t -> Ld_fm.Fm.t
+
+(** Rounds the full greedy algorithm uses on [g] (= number of colours). *)
+val greedy_rounds : Ld_models.Ec.t -> int
+
+(** [proposal ?truncate g] iterates the offer dynamics until no live
+    dart remains (or for [truncate] rounds); returns the packing and the
+    number of rounds executed. Untruncated, the result is always a
+    maximal FM after at most [n] rounds. *)
+val proposal : ?truncate:int -> Ld_models.Ec.t -> Ld_fm.Fm.t * int
+
+(** A named black-box algorithm, as consumed by the lower-bound engine:
+    [run] must be deterministic and lift-invariant. *)
+type algorithm = { name : string; run : Ld_models.Ec.t -> Ld_fm.Fm.t }
+
+val greedy_algorithm : algorithm
+
+val proposal_algorithm : algorithm
+
+(** [truncated base r] caps either algorithm at [r] communication
+    rounds — a genuinely [r]-round algorithm, used to exhibit failure
+    witnesses. *)
+val truncated : [ `Greedy | `Proposal ] -> int -> algorithm

@@ -1,0 +1,252 @@
+module G = Ld_graph.Graph
+module Id = Ld_models.Labelled.Id
+module Sync = Ld_runtime.Sync
+module Cv = Cole_vishkin
+
+type round_kind =
+  | R_learn_ids
+  | R_learn_forests
+  | R_cv
+  | R_shift
+  | R_eliminate of int
+  | R_propose of int * int (* forest, colour *)
+  | R_respond of int * int
+
+let schedule ~delta ~id_bits =
+  let cv = List.init (Cv.iterations_for_bits id_bits) (fun _ -> R_cv) in
+  let reduce =
+    List.concat_map (fun c -> [ R_shift; R_eliminate c ]) [ 5; 4; 3 ]
+  in
+  let phases =
+    List.concat_map
+      (fun f ->
+        List.concat_map (fun c -> [ R_propose (f, c); R_respond (f, c) ])
+          [ 0; 1; 2 ])
+      (List.init delta (fun i -> i + 1))
+  in
+  Array.of_list ([ R_learn_ids; R_learn_forests ] @ cv @ reduce @ phases)
+
+type msg = {
+  mi : int;
+  mcols : int array;
+  mmatched : bool;
+  mpropose : bool;
+  maccept : bool;
+}
+
+type st = {
+  id : int;
+  deg : int;
+  sched : round_kind array;
+  round : int;
+  nbr_ids : int array; (* port -> id *)
+  forest_of_out_port : int array; (* port -> forest (1-based) or 0 *)
+  parent_port : int array; (* forest -> port or -1; index 0 unused *)
+  forest_of_in_port : int array; (* port -> forest or 0 *)
+  colours : int array; (* forest -> colour; index 0 unused *)
+  matched : int option;
+  accept_port : int option;
+}
+
+let blank_msg =
+  { mi = -1; mcols = [||]; mmatched = false; mpropose = false; maccept = false }
+
+(* Does this node propose in phase (f, c)? Deterministic from state, so
+   send and recv agree. *)
+let proposes s f c =
+  s.matched = None && s.parent_port.(f) >= 0 && s.colours.(f) = c
+
+let machine ~delta ~sched : (st, msg, int option) Sync.machine =
+  {
+    init =
+      (fun ~id ~degree ~rng:_ ->
+        {
+          id;
+          deg = degree;
+          sched;
+          round = 0;
+          nbr_ids = Array.make degree (-1);
+          forest_of_out_port = Array.make degree 0;
+          parent_port = Array.make (delta + 1) (-1);
+          forest_of_in_port = Array.make degree 0;
+          colours = Array.make (delta + 1) id;
+          matched = None;
+          accept_port = None;
+        });
+    send =
+      (fun s ~port ->
+        if s.round >= Array.length s.sched then None
+        else
+          Some
+            (match s.sched.(s.round) with
+            | R_learn_ids -> { blank_msg with mi = s.id }
+            | R_learn_forests -> { blank_msg with mi = s.forest_of_out_port.(port) }
+            | R_cv | R_shift | R_eliminate _ -> { blank_msg with mcols = s.colours }
+            | R_propose (f, c) ->
+              {
+                blank_msg with
+                mmatched = s.matched <> None;
+                mpropose = (proposes s f c && s.parent_port.(f) = port);
+              }
+            | R_respond _ ->
+              {
+                blank_msg with
+                mmatched = s.matched <> None;
+                maccept = s.accept_port = Some port;
+              }));
+    recv =
+      (fun s inbox ->
+        let from p = List.assoc_opt p inbox in
+        let s =
+          match s.sched.(s.round) with
+          | R_learn_ids ->
+            let nbr_ids = Array.make s.deg (-1) in
+            List.iter (fun (p, m) -> nbr_ids.(p) <- m.mi) inbox;
+            let forest_of_out_port = Array.make s.deg 0 in
+            let parent_port = Array.copy s.parent_port in
+            let next = ref 0 in
+            for p = 0 to s.deg - 1 do
+              if nbr_ids.(p) > s.id then begin
+                incr next;
+                forest_of_out_port.(p) <- !next;
+                parent_port.(!next) <- p
+              end
+            done;
+            { s with nbr_ids; forest_of_out_port; parent_port }
+          | R_learn_forests ->
+            let forest_of_in_port = Array.make s.deg 0 in
+            List.iter
+              (fun (p, m) ->
+                if s.nbr_ids.(p) < s.id then forest_of_in_port.(p) <- m.mi)
+              inbox;
+            { s with forest_of_in_port }
+          | R_cv ->
+            let colours =
+              Array.mapi
+                (fun f mine ->
+                  if f = 0 then mine
+                  else begin
+                    let parent =
+                      match s.parent_port.(f) with
+                      | -1 -> Cv.virtual_parent mine
+                      | p -> (Option.get (from p)).mcols.(f)
+                    in
+                    Cv.step ~mine ~parent
+                  end)
+                s.colours
+            in
+            { s with colours }
+          | R_shift ->
+            let colours =
+              Array.mapi
+                (fun f mine ->
+                  if f = 0 then mine
+                  else
+                    match s.parent_port.(f) with
+                    | -1 ->
+                      (* A root must differ from its children's new colour
+                         (its own old one) and must not reintroduce an
+                         already-eliminated colour, so it stays in {0,1,2}. *)
+                      if mine >= 3 then 0 else (mine + 1) mod 3
+                    | p -> (Option.get (from p)).mcols.(f))
+                s.colours
+            in
+            { s with colours }
+          | R_eliminate c ->
+            let colours =
+              Array.mapi
+                (fun f mine ->
+                  if f = 0 || mine <> c then mine
+                  else begin
+                    let avoid = ref [] in
+                    (match s.parent_port.(f) with
+                    | -1 -> ()
+                    | p -> avoid := (Option.get (from p)).mcols.(f) :: !avoid);
+                    for p = 0 to s.deg - 1 do
+                      if s.forest_of_in_port.(p) = f then
+                        match from p with
+                        | Some m -> avoid := m.mcols.(f) :: !avoid
+                        | None -> ()
+                    done;
+                    let rec pick x = if List.mem x !avoid then pick (x + 1) else x in
+                    pick 0
+                  end)
+                s.colours
+            in
+            { s with colours }
+          | R_propose (f, c) ->
+            if s.matched <> None || proposes s f c then s
+            else begin
+              (* Collect proposals from unmatched children, accept the
+                 lowest port. *)
+              let accept_port =
+                List.find_map
+                  (fun p ->
+                    match from p with
+                    | Some m when m.mpropose && not m.mmatched -> Some p
+                    | _ -> None)
+                  (List.init s.deg Fun.id)
+              in
+              { s with accept_port }
+            end
+          | R_respond (f, c) ->
+            let matched =
+              match s.matched with
+              | Some _ as m -> m
+              | None -> begin
+                match s.accept_port with
+                | Some p -> Some p
+                | None ->
+                  if proposes s f c then begin
+                    match from s.parent_port.(f) with
+                    | Some m when m.maccept -> Some s.parent_port.(f)
+                    | _ -> None
+                  end
+                  else None
+              end
+            in
+            { s with matched; accept_port = None }
+        in
+        { s with round = s.round + 1 });
+    output =
+      (fun s ->
+        if s.round >= Array.length s.sched then Some s.matched else None);
+  }
+
+type result = { mate : int option array; rounds : int; cv_iterations : int }
+
+let run idg =
+  let g = Id.graph idg in
+  let delta = Stdlib.max 1 (G.max_degree g) in
+  let max_id = Array.fold_left Stdlib.max 0 (Id.ids idg) in
+  let id_bits = Cv.bits_needed max_id in
+  let sched = schedule ~delta ~id_bits in
+  let res =
+    Sync.run (machine ~delta ~sched) ~seed:0
+      ~max_rounds:(Array.length sched + 1)
+      idg
+  in
+  let mate =
+    Array.mapi
+      (fun v out ->
+        Option.map (fun port -> List.nth (G.neighbours g v) port) out)
+      res.outputs
+  in
+  Array.iteri
+    (fun v m ->
+      match m with
+      | None -> ()
+      | Some w ->
+        if mate.(w) <> Some v then
+          failwith "Panconesi_rizzi: asymmetric matching (protocol bug)")
+    mate;
+  { mate; rounds = res.rounds; cv_iterations = Cv.iterations_for_bits id_bits }
+
+let is_maximal g r =
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun v m -> match m with None -> true | Some w -> r.mate.(w) = Some v)
+       r.mate)
+  && List.for_all
+       (fun (u, v) -> r.mate.(u) <> None || r.mate.(v) <> None)
+       (G.edges g)

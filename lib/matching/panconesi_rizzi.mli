@@ -1,0 +1,32 @@
+(** Panconesi–Rizzi maximal matching in [O(Δ + log* n)] rounds (paper
+    §1.1, [25]) — the deterministic upper bound whose optimality in the
+    [Δ] term is the paper's open question.
+
+    Structure:
+    + {b Forest decomposition} (2 rounds): orient every edge toward its
+      higher identifier; the [i]-th outgoing edge of a node (in port
+      order) joins forest [i]. Every node has at most one parent per
+      forest, so each forest is a rooted pseudoforest; children tell
+      parents which forest their shared edge landed in.
+    + {b Cole–Vishkin} ([log* n + O(1)] rounds): reduce colours to
+      [{0..5}] in all forests simultaneously, starting from identifiers.
+    + {b Shift-down + eliminate} (6 rounds): standard 6 → 3 colour
+      reduction per forest.
+    + {b Matching phases} ([6 Δ] rounds): for each forest and each
+      colour, unmatched nodes of that colour propose along their parent
+      edge; parents accept one proposal. Within a phase a parent never
+      proposes in the same forest (its colour differs from its child's),
+      so after phase [(f, c)] every forest-[f] edge whose child has
+      colour [c] has a matched endpoint — maximality follows. *)
+
+type result = {
+  mate : int option array;
+  rounds : int;
+  cv_iterations : int;
+}
+
+(** [run idg] — [Δ] and the identifier bit-length are read off the
+    input (they are the global knowledge the algorithm is allowed). *)
+val run : Ld_models.Labelled.Id.t -> result
+
+val is_maximal : Ld_graph.Graph.t -> result -> bool

@@ -1,0 +1,107 @@
+module Po = Ld_models.Po
+module Q = Ld_arith.Q
+module Po_fm = Ld_fm.Po_fm
+module Anon = Ld_runtime.Anon_po
+
+type msg = { m_offer : Q.t; m_sat : bool }
+
+type state = {
+  slack : Q.t;
+  dead : Anon.dart_key list;
+  weights : (Anon.dart_key * Q.t) list; (* cumulative, per dart *)
+  keys : Anon.dart_key list;
+}
+
+let live_keys s = List.filter (fun k -> not (List.mem k s.dead)) s.keys
+
+let my_offer s =
+  let live = live_keys s in
+  if live = [] || Q.is_zero s.slack then Q.zero
+  else Q.div s.slack (Q.of_int (List.length live))
+
+let machine : (state, msg) Anon.machine =
+  {
+    init = (fun ~darts -> { slack = Q.one; dead = []; weights = []; keys = darts });
+    send = (fun s _ -> { m_offer = my_offer s; m_sat = Q.is_zero s.slack });
+    recv =
+      (fun s inbox ->
+        let offer = my_offer s in
+        let i_am_sat = Q.is_zero s.slack in
+        let increments =
+          List.filter_map
+            (fun (k, m) ->
+              if List.mem k s.dead then None else Some (k, Q.min offer m.m_offer))
+            inbox
+        in
+        let gained = Q.sum (List.map snd increments) in
+        let weights =
+          List.fold_left
+            (fun acc (k, inc) ->
+              if Q.is_zero inc then acc
+              else begin
+                let prev = Option.value ~default:Q.zero (List.assoc_opt k acc) in
+                (k, Q.add prev inc) :: List.remove_assoc k acc
+              end)
+            s.weights increments
+        in
+        let slack = Q.sub s.slack gained in
+        let now_sat = Q.is_zero slack in
+        let dead =
+          List.filter
+            (fun k ->
+              (not (List.mem k s.dead))
+              && (i_am_sat || now_sat
+                 ||
+                 match List.assoc_opt k inbox with
+                 | Some m -> m.m_sat
+                 | None -> false))
+            s.keys
+          @ s.dead
+        in
+        { s with slack; dead; weights });
+    halted = (fun s -> List.for_all (fun k -> List.mem k s.dead) s.keys);
+  }
+
+let proposal ?truncate g =
+  let states, rounds =
+    match truncate with
+    | None -> Anon.run_until machine ~max_rounds:(Po.n g + 2) g
+    | Some r ->
+      if r < 0 then invalid_arg "Po_packing.proposal: negative truncation";
+      (Anon.run machine ~rounds:r g, r)
+  in
+  let weight_at v (key : Anon.dart_key) =
+    Option.value ~default:Q.zero (List.assoc_opt key states.(v).weights)
+  in
+  let arc_w =
+    Array.of_list
+      (List.map
+         (fun (a : Po.arc) ->
+           let wt = weight_at a.tail { out = true; colour = a.colour } in
+           let wh = weight_at a.head { out = false; colour = a.colour } in
+           assert (Q.equal wt wh);
+           wt)
+         (Po.arcs g))
+  in
+  let loop_w =
+    Array.of_list
+      (List.map
+         (fun (l : Po.loop) ->
+           let wo = weight_at l.node { out = true; colour = l.colour } in
+           let wi = weight_at l.node { out = false; colour = l.colour } in
+           assert (Q.equal wo wi);
+           wo)
+         (Po.loops g))
+  in
+  (Po_fm.create g ~arc_w ~loop_w, rounds)
+
+type algorithm = { name : string; run : Po.t -> Po_fm.t }
+
+let proposal_algorithm =
+  { name = "po-proposal"; run = (fun g -> fst (proposal g)) }
+
+let truncated_proposal r =
+  {
+    name = Printf.sprintf "po-proposal[%d rounds]" r;
+    run = (fun g -> fst (proposal ~truncate:r g));
+  }

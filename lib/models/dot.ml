@@ -1,0 +1,59 @@
+let palette =
+  [| "black"; "red3"; "blue3"; "forestgreen"; "darkorange"; "purple3";
+     "deeppink3"; "steelblue"; "brown"; "darkcyan" |]
+
+let colour_of c = palette.(c mod Array.length palette)
+
+let ec ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Ec.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  v%d;\n" v)
+  done;
+  List.iter
+    (fun (e : Ec.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -- v%d [label=\"%d\", color=%s];\n" e.u e.v
+           e.colour (colour_of e.colour)))
+    (Ec.edges g);
+  (* An EC loop is a semi-edge: draw it as a stub to an invisible point. *)
+  List.iteri
+    (fun i (l : Ec.loop) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  stub%d [shape=point, width=0.05];\n" i);
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -- stub%d [label=\"%d\", color=%s, style=dashed];\n"
+           l.node i l.colour (colour_of l.colour)))
+    (Ec.loops g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let po ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Po.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  v%d;\n" v)
+  done;
+  List.iter
+    (fun (a : Po.arc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -> v%d [label=\"%d\", color=%s];\n" a.tail a.head
+           a.colour (colour_of a.colour)))
+    (Po.arcs g);
+  List.iter
+    (fun (l : Po.loop) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -> v%d [label=\"%d\", color=%s];\n" l.node l.node
+           l.colour (colour_of l.colour)))
+    (Po.loops g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let simple ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" u v))
+    (Ld_graph.Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

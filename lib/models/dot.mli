@@ -1,0 +1,15 @@
+(** Graphviz (DOT) export for the model graphs.
+
+    Edge colours are rendered both as labels and as a rotating colour
+    palette; EC loops (semi-edges) are drawn as half-edges to a small
+    point, PO loops as directed self-arcs — matching the visual
+    conventions of the paper's Figure 3. *)
+
+(** DOT source for an EC multigraph. *)
+val ec : ?name:string -> Ec.t -> string
+
+(** DOT source for a PO multigraph (a digraph). *)
+val po : ?name:string -> Po.t -> string
+
+(** DOT source for a plain simple graph. *)
+val simple : ?name:string -> Ld_graph.Graph.t -> string

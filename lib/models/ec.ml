@@ -1,0 +1,173 @@
+type edge = { u : int; v : int; colour : int }
+type loop = { node : int; colour : int }
+
+type dart =
+  | To_neighbour of { neighbour : int; edge_id : int; colour : int }
+  | Into_loop of { loop_id : int; colour : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  loops : loop array;
+  darts : dart list array; (* per node, sorted by colour *)
+}
+
+let dart_colour = function
+  | To_neighbour { colour; _ } -> colour
+  | Into_loop { colour; _ } -> colour
+
+let build n edges loops =
+  let darts = Array.make n [] in
+  Array.iteri
+    (fun id e ->
+      darts.(e.u) <-
+        To_neighbour { neighbour = e.v; edge_id = id; colour = e.colour }
+        :: darts.(e.u);
+      darts.(e.v) <-
+        To_neighbour { neighbour = e.u; edge_id = id; colour = e.colour }
+        :: darts.(e.v))
+    edges;
+  Array.iteri
+    (fun id l ->
+      darts.(l.node) <- Into_loop { loop_id = id; colour = l.colour } :: darts.(l.node))
+    loops;
+  Array.iteri
+    (fun v ds ->
+      let sorted = List.sort (fun a b -> compare (dart_colour a) (dart_colour b)) ds in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          if dart_colour a = dart_colour b then
+            invalid_arg
+              (Printf.sprintf
+                 "Ec.create: node %d has two darts of colour %d (colouring not proper)"
+                 v (dart_colour a));
+          check rest
+        | _ -> ()
+      in
+      check sorted;
+      darts.(v) <- sorted)
+    darts;
+  { n; edges; loops; darts }
+
+let create ~n ~edges ~loops =
+  if n < 0 then invalid_arg "Ec.create: negative n";
+  let check_node v = if v < 0 || v >= n then invalid_arg "Ec.create: node out of range" in
+  let check_colour c = if c < 1 then invalid_arg "Ec.create: colours must be >= 1" in
+  let edges =
+    Array.of_list
+      (List.map
+         (fun (u, v, colour) ->
+           check_node u;
+           check_node v;
+           check_colour colour;
+           if u = v then invalid_arg "Ec.create: self-edge; use ~loops";
+           { u; v; colour })
+         edges)
+  in
+  let loops =
+    Array.of_list
+      (List.map
+         (fun (node, colour) ->
+           check_node node;
+           check_colour colour;
+           { node; colour })
+         loops)
+  in
+  build n edges loops
+
+let n g = g.n
+let num_edges g = Array.length g.edges
+let num_loops g = Array.length g.loops
+let edge g id = g.edges.(id)
+let loop g id = g.loops.(id)
+let edges g = Array.to_list g.edges
+let loops g = Array.to_list g.loops
+let darts g v = g.darts.(v)
+
+let dart_by_colour g v c =
+  List.find_opt (fun d -> dart_colour d = c) g.darts.(v)
+
+let degree g v = List.length g.darts.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := Stdlib.max !best (degree g v)
+  done;
+  !best
+
+let max_colour g =
+  let c = ref 0 in
+  Array.iter (fun (e : edge) -> c := Stdlib.max !c e.colour) g.edges;
+  Array.iter (fun l -> c := Stdlib.max !c l.colour) g.loops;
+  !c
+
+let loops_at g v =
+  List.filter_map
+    (function Into_loop { loop_id; _ } -> Some loop_id | To_neighbour _ -> None)
+    g.darts.(v)
+
+let min_loops g =
+  if g.n = 0 then 0
+  else begin
+    let best = ref max_int in
+    for v = 0 to g.n - 1 do
+      best := Stdlib.min !best (List.length (loops_at g v))
+    done;
+    !best
+  end
+
+let remove_loop g id =
+  if id < 0 || id >= Array.length g.loops then invalid_arg "Ec.remove_loop";
+  let loops =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> id) (Array.to_list g.loops))
+  in
+  build g.n g.edges loops
+
+let disjoint_union a b =
+  let shift = a.n in
+  let edges =
+    Array.append a.edges
+      (Array.map (fun e -> { e with u = e.u + shift; v = e.v + shift }) b.edges)
+  in
+  let loops =
+    Array.append a.loops (Array.map (fun l -> { l with node = l.node + shift }) b.loops)
+  in
+  build (a.n + b.n) edges loops
+
+let add_edge g (u, v, colour) =
+  if u = v then invalid_arg "Ec.add_edge: self-edge";
+  build g.n (Array.append g.edges [| { u; v; colour } |]) g.loops
+
+let of_simple sg ~colour =
+  let module G = Ld_graph.Graph in
+  let edges =
+    List.map (fun (u, v) -> (u, v, colour (u, v))) (G.edges sg)
+  in
+  create ~n:(G.n sg) ~edges ~loops:[]
+
+let to_simple g =
+  if Array.length g.loops > 0 then invalid_arg "Ec.to_simple: graph has loops";
+  Ld_graph.Graph.create g.n
+    (Array.to_list (Array.map (fun e -> (Stdlib.min e.u e.v, Stdlib.max e.u e.v)) g.edges))
+
+let canonical_edge e =
+  (Stdlib.min e.u e.v, Stdlib.max e.u e.v, e.colour)
+
+let equal a b =
+  a.n = b.n
+  && List.sort compare (List.map canonical_edge (edges a))
+     = List.sort compare (List.map canonical_edge (edges b))
+  && List.sort compare (List.map (fun l -> (l.node, l.colour)) (loops a))
+     = List.sort compare (List.map (fun l -> (l.node, l.colour)) (loops b))
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>ec-graph n=%d@," g.n;
+  Array.iter
+    (fun e -> Format.fprintf fmt "  edge %d-%d colour %d@," e.u e.v e.colour)
+    g.edges;
+  Array.iter
+    (fun l -> Format.fprintf fmt "  loop @@%d colour %d@," l.node l.colour)
+    g.loops;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,36 @@
+module G = Ld_graph.Graph
+
+let greedy g =
+  let table : (int * int, int) Hashtbl.t = Hashtbl.create (G.m g) in
+  let node_used = Array.make (G.n g) [] in
+  List.iter
+    (fun (u, v) ->
+      let rec smallest c =
+        if List.mem c node_used.(u) || List.mem c node_used.(v) then smallest (c + 1)
+        else c
+      in
+      let c = smallest 1 in
+      node_used.(u) <- c :: node_used.(u);
+      node_used.(v) <- c :: node_used.(v);
+      Hashtbl.add table (u, v) c)
+    (G.edges g);
+  fun (u, v) ->
+    let key = (Stdlib.min u v, Stdlib.max u v) in
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None -> invalid_arg "Edge_colouring.greedy: not an edge"
+
+let num_colours g colour =
+  List.sort_uniq compare (List.map colour (G.edges g)) |> List.length
+
+let is_proper g colour =
+  let ok = ref true in
+  for v = 0 to G.n g - 1 do
+    let cs =
+      List.map (fun w -> colour (Stdlib.min v w, Stdlib.max v w)) (G.neighbours g v)
+    in
+    if List.length (List.sort_uniq compare cs) <> List.length cs then ok := false
+  done;
+  !ok
+
+let ec_of_simple g = Ec.of_simple g ~colour:(greedy g)

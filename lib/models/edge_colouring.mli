@@ -1,0 +1,19 @@
+(** Proper edge colourings of simple graphs.
+
+    The EC model assumes a proper edge colouring with [O(Δ)] colours is
+    given with the input (paper §2.1). These helpers manufacture such
+    colourings so that simple graphs can be fed to EC algorithms. *)
+
+(** [greedy g] properly colours the edges of [g] with at most [2Δ - 1]
+    colours (colours are [1..2Δ-1]): each edge takes the smallest colour
+    free at both endpoints. Returns the colour per edge [(u, v)], [u < v]. *)
+val greedy : Ld_graph.Graph.t -> (int * int) -> int
+
+(** [num_colours g colour] is the number of distinct colours used. *)
+val num_colours : Ld_graph.Graph.t -> ((int * int) -> int) -> int
+
+(** [is_proper g colour] checks that adjacent edges get distinct colours. *)
+val is_proper : Ld_graph.Graph.t -> ((int * int) -> int) -> bool
+
+(** [ec_of_simple g] is [Ec.of_simple g ~colour:(greedy g)]. *)
+val ec_of_simple : Ld_graph.Graph.t -> Ec.t

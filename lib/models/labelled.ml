@@ -1,0 +1,56 @@
+module G = Ld_graph.Graph
+
+module Id = struct
+  type t = { graph : G.t; ids : int array }
+
+  let create graph ids =
+    if Array.length ids <> G.n graph then invalid_arg "Id.create: wrong length";
+    Array.iter (fun i -> if i < 0 then invalid_arg "Id.create: negative id") ids;
+    let sorted = Array.copy ids in
+    Array.sort compare sorted;
+    for i = 1 to Array.length sorted - 1 do
+      if sorted.(i) = sorted.(i - 1) then invalid_arg "Id.create: duplicate id"
+    done;
+    { graph; ids }
+
+  let graph t = t.graph
+  let id t v = t.ids.(v)
+  let ids t = Array.copy t.ids
+  let trivial graph = { graph; ids = Array.init (G.n graph) Fun.id }
+end
+
+module Oi = struct
+  type t = { graph : G.t; rank : int array }
+
+  let create graph rank =
+    if Array.length rank <> G.n graph then invalid_arg "Oi.create: wrong length";
+    let seen = Array.make (G.n graph) false in
+    Array.iter
+      (fun r ->
+        if r < 0 || r >= G.n graph || seen.(r) then
+          invalid_arg "Oi.create: not a permutation";
+        seen.(r) <- true)
+      rank;
+    { graph; rank }
+
+  let graph t = t.graph
+  let rank t v = t.rank.(v)
+  let precedes t u v = t.rank.(u) < t.rank.(v)
+
+  let of_id (id : Id.t) =
+    let g = Id.graph id in
+    let order = Array.init (G.n g) Fun.id in
+    Array.sort (fun u v -> compare (Id.id id u) (Id.id id v)) order;
+    let rank = Array.make (G.n g) 0 in
+    Array.iteri (fun pos v -> rank.(v) <- pos) order;
+    { graph = g; rank }
+
+  let assign t ids =
+    if Array.length ids <> G.n t.graph then invalid_arg "Oi.assign: wrong length";
+    let sorted = Array.copy ids in
+    Array.sort compare sorted;
+    for i = 1 to Array.length sorted - 1 do
+      if sorted.(i) = sorted.(i - 1) then invalid_arg "Oi.assign: duplicate id"
+    done;
+    Id.create t.graph (Array.init (Array.length ids) (fun v -> sorted.(t.rank.(v))))
+  end

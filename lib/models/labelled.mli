@@ -1,0 +1,45 @@
+(** ID-graphs and OI-graphs (paper §3.2).
+
+    An ID-graph is a simple graph whose nodes carry distinct natural-number
+    identifiers; an OI-graph carries only a linear order on the nodes.
+    Every ID-graph is an OI-graph under [<=] on identifiers; conversely an
+    OI-graph becomes an ID-graph through any order-respecting assignment
+    [phi] (the paper's [phi(G)]). *)
+
+module Id : sig
+  type t
+
+  (** [create g ids] — [ids.(v)] is the identifier of node [v]; all
+      identifiers must be distinct and non-negative.
+      @raise Invalid_argument otherwise. *)
+  val create : Ld_graph.Graph.t -> int array -> t
+
+  val graph : t -> Ld_graph.Graph.t
+  val id : t -> int -> int
+  val ids : t -> int array
+
+  (** Identity assignment: node [v] gets identifier [v]. *)
+  val trivial : Ld_graph.Graph.t -> t
+end
+
+module Oi : sig
+  type t
+
+  (** [create g rank] — [rank] is a permutation of [0 .. n-1]; node [u]
+      precedes [v] in the linear order iff [rank.(u) < rank.(v)]. *)
+  val create : Ld_graph.Graph.t -> int array -> t
+
+  val graph : t -> Ld_graph.Graph.t
+  val rank : t -> int -> int
+
+  (** [precedes t u v] is the linear order. *)
+  val precedes : t -> int -> int -> bool
+
+  (** The order induced by identifiers (ID-graphs are OI-graphs). *)
+  val of_id : Id.t -> t
+
+  (** [assign t ids] re-identifies: sorts [ids], gives the rank-[k] node
+      the [k]-th smallest identifier — an order-respecting [phi].
+      @raise Invalid_argument if [ids] has duplicates or wrong length. *)
+  val assign : t -> int array -> Id.t
+end

@@ -1,0 +1,45 @@
+module Ec = Ld_models.Ec
+
+type ('state, 'msg) machine = {
+  init : degree:int -> colours:int list -> 'state;
+  send : 'state -> colour:int -> 'msg;
+  recv : 'state -> (int * 'msg) list -> 'state;
+  halted : 'state -> bool;
+}
+
+let initial machine g =
+  Array.init (Ec.n g) (fun v ->
+      let colours = List.map Ec.dart_colour (Ec.darts g v) in
+      machine.init ~degree:(List.length colours) ~colours)
+
+let step machine g states =
+  let inbox v =
+    List.map
+      (fun dart ->
+        match dart with
+        | Ec.To_neighbour { neighbour; colour; _ } ->
+          (colour, machine.send states.(neighbour) ~colour)
+        | Ec.Into_loop { colour; _ } ->
+          (* Loop reflection: the fiber neighbour is a copy of [v]. *)
+          (colour, machine.send states.(v) ~colour))
+      (Ec.darts g v)
+  in
+  Array.mapi
+    (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
+    states
+
+let run machine ~rounds g =
+  if rounds < 0 then invalid_arg "Anon_ec.run: negative rounds";
+  let states = ref (initial machine g) in
+  for _ = 1 to rounds do
+    states := step machine g !states
+  done;
+  !states
+
+let run_until machine ~max_rounds g =
+  let all_halted states = Array.for_all machine.halted states in
+  let rec go states r =
+    if all_halted states || r >= max_rounds then (states, r)
+    else go (step machine g states) (r + 1)
+  in
+  go (initial machine g) 0

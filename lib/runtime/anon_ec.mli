@@ -1,0 +1,38 @@
+(** Synchronous execution of anonymous algorithms on EC multigraphs.
+
+    A machine is a deterministic synchronous state machine: at every
+    round each node produces one message per incident dart (indexed by
+    its colour — the only name a node has for a dart in the EC model),
+    then consumes the messages arriving on its darts.
+
+    {b Loop reflection.} On a dart that is a loop (semi-edge), the node
+    receives the very message it sent on that dart. This makes execution
+    on a multigraph [G] agree exactly, fiber by fiber, with execution on
+    any lift of [G]: all members of a fiber carry identical states by
+    induction on rounds, so the neighbour across a lifted loop edge sends
+    precisely what the node itself sent. Consequently every machine run
+    through this module satisfies the lift-invariance condition (2) of
+    the paper by construction — this is how we "run algorithms on
+    factor graphs" without materialising infinite universal covers. *)
+
+type ('state, 'msg) machine = {
+  init : degree:int -> colours:int list -> 'state;
+      (** Initial state; [colours] are the node's dart colours, sorted. *)
+  send : 'state -> colour:int -> 'msg;
+      (** Message for the dart of the given colour. *)
+  recv : 'state -> (int * 'msg) list -> 'state;
+      (** Consume one round's inbox, sorted by dart colour. *)
+  halted : 'state -> bool;
+      (** Once true, the node's state is frozen (its messages continue to
+          be delivered, computed from the frozen state). *)
+}
+
+(** [run machine ~rounds g] executes exactly [rounds] rounds (halted
+    nodes frozen) and returns the final states. *)
+val run : ('s, 'm) machine -> rounds:int -> Ld_models.Ec.t -> 's array
+
+(** [run_until machine ~max_rounds g] stops as soon as every node has
+    halted (or after [max_rounds]); returns final states and the number
+    of rounds executed. *)
+val run_until :
+  ('s, 'm) machine -> max_rounds:int -> Ld_models.Ec.t -> 's array * int

@@ -1,0 +1,56 @@
+module Po = Ld_models.Po
+
+type dart_key = { out : bool; colour : int }
+
+type ('state, 'msg) machine = {
+  init : darts:dart_key list -> 'state;
+  send : 'state -> dart_key -> 'msg;
+  recv : 'state -> (dart_key * 'msg) list -> 'state;
+  halted : 'state -> bool;
+}
+
+let key_of_dart = function
+  | Po.Out { colour; _ } | Po.Loop_out { colour; _ } -> { out = true; colour }
+  | Po.In { colour; _ } | Po.Loop_in { colour; _ } -> { out = false; colour }
+
+let initial machine g =
+  Array.init (Po.n g) (fun v ->
+      machine.init ~darts:(List.map key_of_dart (Po.darts g v)))
+
+let step machine g states =
+  let inbox v =
+    List.map
+      (fun dart ->
+        let key = key_of_dart dart in
+        match dart with
+        | Po.Out { neighbour; colour; _ } ->
+          (* The head sends toward the tail on its In dart. *)
+          (key, machine.send states.(neighbour) { out = false; colour })
+        | Po.In { neighbour; colour; _ } ->
+          (key, machine.send states.(neighbour) { out = true; colour })
+        | Po.Loop_out { colour; _ } ->
+          (* Reflection across the directed loop: our In-side message. *)
+          (key, machine.send states.(v) { out = false; colour })
+        | Po.Loop_in { colour; _ } ->
+          (key, machine.send states.(v) { out = true; colour }))
+      (Po.darts g v)
+  in
+  Array.mapi
+    (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
+    states
+
+let run machine ~rounds g =
+  if rounds < 0 then invalid_arg "Anon_po.run: negative rounds";
+  let states = ref (initial machine g) in
+  for _ = 1 to rounds do
+    states := step machine g !states
+  done;
+  !states
+
+let run_until machine ~max_rounds g =
+  let all_halted states = Array.for_all machine.halted states in
+  let rec go states r =
+    if all_halted states || r >= max_rounds then (states, r)
+    else go (step machine g states) (r + 1)
+  in
+  go (initial machine g) 0

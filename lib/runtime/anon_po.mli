@@ -1,0 +1,27 @@
+(** Synchronous execution of anonymous algorithms on PO multigraphs.
+
+    Every arc is a bidirectional communication link (the orientation is
+    symmetry-breaking information, not a restriction on messages), so a
+    node holds one dart per incident arc end: an [Out] dart at the tail
+    and an [In] dart at the head. A node names its darts by direction and
+    colour — legal because out-colours are distinct and in-colours are
+    distinct in a PO graph.
+
+    {b Loop reflection.} A directed loop contributes an [Out] dart and an
+    [In] dart. In any lift, the loop unfolds into a directed cycle
+    through the fiber, so the message sent on the [Out] dart arrives on
+    the node's own [In] dart of the same colour, and vice versa. *)
+
+type dart_key = { out : bool; colour : int }
+
+type ('state, 'msg) machine = {
+  init : darts:dart_key list -> 'state;
+  send : 'state -> dart_key -> 'msg;
+  recv : 'state -> (dart_key * 'msg) list -> 'state;
+  halted : 'state -> bool;
+}
+
+val run : ('s, 'm) machine -> rounds:int -> Ld_models.Po.t -> 's array
+
+val run_until :
+  ('s, 'm) machine -> max_rounds:int -> Ld_models.Po.t -> 's array * int

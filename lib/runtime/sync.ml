@@ -1,0 +1,61 @@
+module G = Ld_graph.Graph
+module Id = Ld_models.Labelled.Id
+
+type ('state, 'msg, 'out) machine = {
+  init : id:int -> degree:int -> rng:Random.State.t -> 'state;
+  send : 'state -> port:int -> 'msg option;
+  recv : 'state -> (int * 'msg) list -> 'state;
+  output : 'state -> 'out option;
+}
+
+type 'out result = { outputs : 'out array; rounds : int }
+
+let run machine ~seed ~max_rounds idg =
+  let g = Id.graph idg in
+  let n = G.n g in
+  (* Port p of node v leads to its p-th smallest neighbour. *)
+  let ports = Array.init n (fun v -> Array.of_list (G.neighbours g v)) in
+  (* port_back.(v).(p) is the port of the far endpoint that leads back. *)
+  let port_of = Array.make n [||] in
+  for v = 0 to n - 1 do
+    port_of.(v) <- Array.map
+      (fun w ->
+        let back = ref (-1) in
+        Array.iteri (fun q x -> if x = v then back := q) ports.(w);
+        !back)
+      ports.(v)
+  done;
+  let states =
+    Array.init n (fun v ->
+        let rng = Random.State.make [| seed; Id.id idg v; 0x5ca1e |] in
+        machine.init ~id:(Id.id idg v) ~degree:(Array.length ports.(v)) ~rng)
+  in
+  let halted v = machine.output states.(v) <> None in
+  let round = ref 0 in
+  while Array.exists (fun v -> not (halted v)) (Array.init n Fun.id)
+        && !round < max_rounds do
+    incr round;
+    let inboxes = Array.make n [] in
+    for v = n - 1 downto 0 do
+      Array.iteri
+        (fun p w ->
+          match machine.send states.(v) ~port:p with
+          | None -> ()
+          | Some m -> inboxes.(w) <- (port_of.(v).(p), m) :: inboxes.(w))
+        ports.(v)
+    done;
+    for v = 0 to n - 1 do
+      if not (halted v) then
+        states.(v) <- machine.recv states.(v) (List.sort compare inboxes.(v))
+    done
+  done;
+  let outputs =
+    Array.init n (fun v ->
+        match machine.output states.(v) with
+        | Some o -> o
+        | None ->
+          failwith
+            (Printf.sprintf "Sync.run: node %d (id %d) did not halt within %d rounds"
+               v (Id.id idg v) max_rounds))
+  in
+  { outputs; rounds = !round }

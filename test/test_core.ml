@@ -1,0 +1,436 @@
+(* The Section 4 adversary: Theorem 1 as machine-checked certificates. *)
+
+module LB = Ld_core.Lower_bound
+module Packing = Ld_matching.Packing
+module Ec = Ld_models.Ec
+module Fm = Ld_fm.Fm
+module Q = Ld_arith.Q
+module Refinement = Ld_cover.Refinement
+module View = Ld_cover.View
+module Lift = Ld_cover.Lift
+
+let certs_of = function
+  | LB.Certified certs -> certs
+  | LB.Refuted _ -> Alcotest.fail "expected certification"
+
+let check_certificate delta (c : LB.certificate) =
+  (* P1: differing outputs on the distinguished colour-c loops... *)
+  Alcotest.(check bool)
+    (Printf.sprintf "level %d weights differ" c.level)
+    false
+    (Q.equal c.g_weight c.h_weight);
+  Alcotest.(check int) "loop colour (G)" c.colour (Ec.loop c.g_graph c.g_loop).colour;
+  Alcotest.(check int) "loop colour (H)" c.colour (Ec.loop c.h_graph c.h_loop).colour;
+  Alcotest.(check int) "loop node (G)" c.g_node (Ec.loop c.g_graph c.g_loop).node;
+  Alcotest.(check int) "loop node (H)" c.h_node (Ec.loop c.h_graph c.h_loop).node;
+  (* ... on isomorphic radius-i views. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "level %d views isomorphic" c.level)
+    true
+    (Refinement.equivalent_radius c.g_graph c.g_node c.h_graph c.h_node
+       ~radius:c.level);
+  (* P2: (Δ-1-i)-loopiness of the multigraphs themselves. *)
+  Alcotest.(check bool) "P2 for G" true (Ec.min_loops c.g_graph >= delta - 1 - c.level);
+  Alcotest.(check bool) "P2 for H" true (Ec.min_loops c.h_graph >= delta - 1 - c.level);
+  (* Degrees stay within Δ. *)
+  Alcotest.(check bool) "degree bound G" true (Ec.max_degree c.g_graph <= delta);
+  Alcotest.(check bool) "degree bound H" true (Ec.max_degree c.h_graph <= delta)
+
+let adversary_certifies_greedy () =
+  List.iter
+    (fun delta ->
+      let certs = certs_of (LB.run ~delta Packing.greedy_algorithm) in
+      Alcotest.(check int)
+        (Printf.sprintf "delta=%d levels" delta)
+        (delta - 1) (List.length certs);
+      List.iter (check_certificate delta) certs)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let adversary_certifies_greedy_matching () =
+  (* The companion result [13]: the greedy maximal matching (a 0/1
+     maximal FM) also needs Ω(Δ) rounds; truncations are refuted. *)
+  List.iter
+    (fun delta ->
+      let certs =
+        certs_of (LB.run ~delta (Ld_matching.Mm_ec.as_packing_algorithm ()))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "delta=%d levels" delta)
+        (delta - 1) (List.length certs);
+      List.iter (check_certificate delta) certs)
+    [ 2; 3; 4; 5; 6 ];
+  match LB.run ~delta:6 (Ld_matching.Mm_ec.as_packing_algorithm ~truncate:3 ()) with
+  | LB.Certified _ -> Alcotest.fail "truncated matching certified"
+  | LB.Refuted (_, f) ->
+    Alcotest.(check bool) "prompt refutation" true (f.LB.fail_level <= 4)
+
+let adversary_certifies_proposal () =
+  List.iter
+    (fun delta ->
+      let certs = certs_of (LB.run ~delta Packing.proposal_algorithm) in
+      Alcotest.(check int)
+        (Printf.sprintf "delta=%d levels" delta)
+        (delta - 1) (List.length certs))
+    [ 2; 4; 6 ]
+
+let base_case_is_figure5 () =
+  (* Level 0: G_0 one node with Δ loops, H_0 with Δ-1 loops, same node. *)
+  let certs = certs_of (LB.run ~delta:4 Packing.greedy_algorithm) in
+  match certs with
+  | c0 :: _ ->
+    Alcotest.(check int) "G0 is a single node" 1 (Ec.n c0.g_graph);
+    Alcotest.(check int) "G0 has delta loops" 4 (Ec.num_loops c0.g_graph);
+    Alcotest.(check int) "H0 has delta-1 loops" 3 (Ec.num_loops c0.h_graph);
+    Alcotest.(check int) "same node" c0.g_node c0.h_node
+  | [] -> Alcotest.fail "no certificates"
+
+let graphs_double_per_level () =
+  (* COST: |G_i| = 2^i (the unfold step doubles). *)
+  let certs = certs_of (LB.run ~delta:7 Packing.greedy_algorithm) in
+  List.iter
+    (fun (c : LB.certificate) ->
+      Alcotest.(check int)
+        (Printf.sprintf "level %d size" c.level)
+        (1 lsl c.level) (Ec.n c.g_graph))
+    certs
+
+let truncated_algorithms_refuted () =
+  (* The dichotomy: r-round truncations are refuted, with a concrete
+     feasibility/maximality violation on a loopy graph, and the failure
+     persists on the simple 2-lift. *)
+  List.iter
+    (fun r ->
+      match LB.run ~delta:6 (Packing.truncated `Greedy r) with
+      | LB.Certified _ -> Alcotest.fail "truncated algorithm cannot be certified"
+      | LB.Refuted (certs, f) ->
+        Alcotest.(check bool) "has violations" true (f.fail_violations <> []);
+        Alcotest.(check bool) "graph is loopy" true (Ec.min_loops f.fail_graph >= 1);
+        Alcotest.(check bool) "lift is a covering" true (Lift.is_covering f.fail_lift);
+        Alcotest.(check int) "lift is loop-free" 0 (Ec.num_loops f.fail_lift.total);
+        (* The pulled-back output fails on the simple lift too. *)
+        let lifted = Fm.pull_back f.fail_lift f.fail_output in
+        Alcotest.(check bool) "violation persists on simple lift" false
+          (Fm.is_maximal_fm lifted);
+        (* The refutation arrives within r+1 levels of the truncation. *)
+        Alcotest.(check bool) "fails promptly" true (f.fail_level <= r + 1);
+        Alcotest.(check int) "certificates before break" f.fail_level
+          (List.length certs))
+    [ 0; 1; 2; 3; 4 ]
+
+let boundary_is_linear () =
+  (* THM1 frontier: max certified level of the r-round truncation is
+     exactly min(r-2, Δ-2) for the greedy algorithm — linear in r. *)
+  let delta = 7 in
+  List.iter
+    (fun (r, level) ->
+      let expected = max (-1) (min (r - 2) (delta - 2)) in
+      Alcotest.(check int) (Printf.sprintf "r=%d" r) expected level)
+    (LB.boundary ~delta ~truncate_max:8 `Greedy)
+
+let non_lift_invariant_rejected () =
+  (* An "algorithm" that breaks symmetry it cannot see (uses node ids)
+     must be caught by the lift-invariance sanity check. *)
+  let cheating =
+    {
+      LB.name = "cheater";
+      run =
+        (fun g ->
+          (* Saturate node 0's first loop only; elsewhere greedy. *)
+          let y = Ld_fm.Greedy.maximal_fm g in
+          match Ec.loops_at g 0 with
+          | l0 :: _ ->
+            let loop_w =
+              Array.mapi
+                (fun i w -> if i = l0 then Q.one else w)
+                (Array.init (Ec.num_loops g) (Fm.loop_weight y))
+            in
+            let edge_w =
+              Array.init (Ec.num_edges g) (fun i ->
+                  if i = 0 then Q.zero else Fm.edge_weight y i)
+            in
+            Fm.create g ~edge_w ~loop_w
+          | [] -> y);
+    }
+  in
+  Alcotest.(check bool) "cheater detected or refuted" true
+    (try
+       match LB.run ~delta:5 cheating with
+       | LB.Refuted _ -> true
+       | LB.Certified _ -> false
+     with Failure _ -> true)
+
+let views_match_explicit_trees () =
+  (* Cross-validate the refinement-based P1 check with explicit view
+     trees at small levels. *)
+  let certs = certs_of (LB.run ~delta:5 Packing.greedy_algorithm) in
+  List.iter
+    (fun (c : LB.certificate) ->
+      if c.level <= 3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "explicit views agree at level %d" c.level)
+          true
+          (View.equal
+             (View.of_ec c.g_graph c.g_node ~radius:c.level)
+             (View.of_ec c.h_graph c.h_node ~radius:c.level)))
+    certs
+
+let report_rendering () =
+  let certified = LB.run ~delta:4 Packing.greedy_algorithm in
+  let doc =
+    Ld_core.Report.markdown ~delta:4 ~algorithm_name:"greedy" certified
+  in
+  let has needle =
+    let n = String.length needle and h = String.length doc in
+    let rec go i = i + n <= h && (String.sub doc i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions outcome" true (has "CERTIFIED");
+  Alcotest.(check bool) "mentions levels" true (has "### Level 2");
+  Alcotest.(check bool) "inlines base case" true (has "loop @0");
+  let refuted = LB.run ~delta:4 (Packing.truncated `Greedy 1) in
+  let doc' = Ld_core.Report.markdown ~delta:4 ~algorithm_name:"t" refuted in
+  let has' needle =
+    let n = String.length needle and h = String.length doc' in
+    let rec go i = i + n <= h && (String.sub doc' i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions refutation" true (has' "REFUTED");
+  Alcotest.(check bool) "includes 2-lift statement" true (has' "2-lift")
+
+let delta_validation () =
+  Alcotest.check_raises "delta >= 2"
+    (Invalid_argument "Lower_bound.run: delta must be >= 2") (fun () ->
+      ignore (LB.run ~delta:1 Packing.greedy_algorithm))
+
+(* ---- empirical locality (Definition (1) as a test) ---- *)
+
+let locality_of_certified_algorithm () =
+  let module Loc = Ld_core.Locality in
+  List.iter
+    (fun delta ->
+      let certs = certs_of (LB.run ~delta Packing.greedy_algorithm) in
+      let probes = Loc.probes_of_certificates certs in
+      (* The certificates are locality violations by construction, so the
+         measured locality exceeds the top level. *)
+      match Loc.empirical_locality ~max_radius:(delta + 2) Packing.greedy_algorithm probes with
+      | Some t ->
+        Alcotest.(check bool)
+          (Printf.sprintf "delta=%d locality %d > %d" delta t (delta - 2))
+          true
+          (t > delta - 2)
+      | None -> Alcotest.fail "no consistent radius found")
+    [ 3; 4; 5; 6 ]
+
+let locality_violation_details () =
+  let module Loc = Ld_core.Locality in
+  let certs = certs_of (LB.run ~delta:4 Packing.greedy_algorithm) in
+  let top = List.nth certs (List.length certs - 1) in
+  (* The top-level pair alone is a radius-(Δ-2) violation. *)
+  match
+    Loc.violation_at ~radius:top.level Packing.greedy_algorithm
+      [ top.g_graph; top.h_graph ]
+  with
+  | None -> Alcotest.fail "certificate pair must violate its own level"
+  | Some v -> Alcotest.(check int) "radius" top.level v.Loc.radius
+
+let locality_respects_truncation () =
+  let module Loc = Ld_core.Locality in
+  (* A genuinely r-round machine can never be caught above r+1. *)
+  let probes =
+    List.map
+      (fun s ->
+        Ld_models.Edge_colouring.ec_of_simple
+          (Ld_graph.Generators.random_bounded_degree ~seed:s 12 4))
+      [ 1; 2; 3; 4 ]
+  in
+  List.iter
+    (fun r ->
+      match
+        Loc.empirical_locality ~max_radius:12 (Packing.truncated `Greedy r) probes
+      with
+      | Some t -> Alcotest.(check bool) "within r+1" true (t <= r + 1)
+      | None -> Alcotest.fail "unbounded locality for a truncated machine")
+    [ 0; 1; 2; 3 ]
+
+let id_locality_of_israeli_itai () =
+  (* Definition (1) for the ID model: with a fixed seed, Israeli–Itai's
+     output at v is reproduced by running it on the identified ball of
+     radius = (global round count); outputs are compared as partner
+     identifiers, which are index-independent. *)
+  let module Loc = Ld_core.Locality in
+  let module II = Ld_matching.Israeli_itai in
+  let module Id = Ld_models.Labelled.Id in
+  let module Ball = Ld_cover.Ball in
+  List.iter
+    (fun seed ->
+      let g = Ld_graph.Generators.random_bounded_degree ~seed 18 4 in
+      let idg = Id.trivial g in
+      let rounds = (II.run ~seed:9 ~max_rounds:1000 idg).II.rounds in
+      let run idg' =
+        let r = II.run ~seed:9 ~max_rounds:1000 idg' in
+        Array.mapi
+          (fun _ m -> Option.map (fun w -> Id.id idg' w) m)
+          r.II.mate
+      in
+      for v = 0 to Ld_graph.Graph.n g - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d node %d is %d-local" seed v rounds)
+          true
+          (Loc.id_local_at ~radius:rounds ~run ~equal:( = ) idg v)
+      done)
+    [ 1; 2; 3 ]
+
+let ball_extraction () =
+  let module Ball = Ld_cover.Ball in
+  let module Id = Ld_models.Labelled.Id in
+  let g = Ld_graph.Generators.cycle 8 in
+  let idg = Id.create g [| 10; 11; 12; 13; 14; 15; 16; 17 |] in
+  let b = Ball.extract idg 0 ~radius:2 in
+  Alcotest.(check int) "5 nodes within distance 2" 5 (Ball.size b);
+  (* the two distance-2 nodes are not adjacent in the ball (their edge
+     has distance 3) *)
+  Alcotest.(check int) "4 edges" 4 (Ld_graph.Graph.m (Id.graph b.Ball.ball_graph));
+  Alcotest.(check int) "root keeps its id" 10
+    (Id.id b.Ball.ball_graph b.Ball.root);
+  let b0 = Ball.extract idg 3 ~radius:0 in
+  Alcotest.(check int) "radius 0 = bare node" 1 (Ball.size b0);
+  Alcotest.(check int) "no edges at radius 0" 0
+    (Ld_graph.Graph.m (Id.graph b0.Ball.ball_graph))
+
+(* ---- certificate serialisation & independent verification ---- *)
+
+let certificate_roundtrip () =
+  let module CIO = Ld_core.Certificate_io in
+  let certs = certs_of (LB.run ~delta:5 Packing.greedy_algorithm) in
+  let text = CIO.to_string certs in
+  let back = CIO.of_string text in
+  Alcotest.(check int) "count preserved" (List.length certs) (List.length back);
+  List.iter2
+    (fun (a : LB.certificate) (b : LB.certificate) ->
+      Alcotest.(check int) "level" a.level b.level;
+      Alcotest.(check int) "colour" a.colour b.colour;
+      Alcotest.(check bool) "g graph" true (Ec.equal a.g_graph b.g_graph);
+      Alcotest.(check bool) "h graph" true (Ec.equal a.h_graph b.h_graph);
+      Alcotest.(check bool) "weights" true
+        (Q.equal a.g_weight b.g_weight && Q.equal a.h_weight b.h_weight))
+    certs back;
+  (* Independent verification, including re-running the algorithm. *)
+  let checks =
+    CIO.verify ~algorithm:Packing.greedy_algorithm ~delta:5 back
+  in
+  List.iter
+    (fun c -> Alcotest.(check bool) "check ok" true (CIO.check_ok c))
+    checks
+
+let certificate_tamper_detected () =
+  let module CIO = Ld_core.Certificate_io in
+  let certs = certs_of (LB.run ~delta:4 Packing.greedy_algorithm) in
+  (* Tamper 1: claim equal weights. *)
+  let forged =
+    List.map (fun (c : LB.certificate) -> { c with LB.h_weight = c.g_weight }) certs
+  in
+  Alcotest.(check bool) "equal weights rejected" false
+    (List.for_all CIO.check_ok (CIO.verify ~delta:4 forged));
+  (* Tamper 2: misreport the algorithm's output. *)
+  let forged2 =
+    List.map
+      (fun (c : LB.certificate) ->
+        { c with LB.g_weight = Q.add c.g_weight (Q.of_ints 1 7) })
+      certs
+  in
+  Alcotest.(check bool) "wrong outputs rejected" false
+    (List.for_all CIO.check_ok
+       (CIO.verify ~algorithm:Packing.greedy_algorithm ~delta:4 forged2));
+  (* Tamper 3: wrong distinguished node. *)
+  let forged3 =
+    List.filter_map
+      (fun (c : LB.certificate) ->
+        if c.LB.level >= 1 then Some { c with LB.g_node = (c.LB.g_node + 1) mod Ec.n c.LB.g_graph }
+        else None)
+      certs
+  in
+  Alcotest.(check bool) "wrong node rejected" false
+    (List.for_all CIO.check_ok (CIO.verify ~delta:4 forged3))
+
+let certificate_file_roundtrip () =
+  let module CIO = Ld_core.Certificate_io in
+  let certs = certs_of (LB.run ~delta:4 Packing.greedy_algorithm) in
+  let path = Filename.temp_file "ld_cert" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      CIO.save path certs;
+      let back = CIO.load path in
+      Alcotest.(check int) "count" (List.length certs) (List.length back);
+      Alcotest.(check bool) "verifies" true
+        (List.for_all CIO.check_ok
+           (CIO.verify ~algorithm:Packing.greedy_algorithm ~delta:4 back)))
+
+let sexp_roundtrip () =
+  let module S = Ld_core.Sexp in
+  let s =
+    S.list [ S.atom "a"; S.list [ S.int 1; S.int (-2) ]; S.field "f" [ S.atom "x" ] ]
+  in
+  let text = S.to_string s in
+  Alcotest.(check string) "printed" "(a (1 -2) (f x))" text;
+  Alcotest.(check bool) "parse back" true (S.of_string text = s);
+  Alcotest.(check bool) "malformed rejected" true
+    (try
+       ignore (S.of_string "(a (b)");
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "theorem1",
+        [
+          Alcotest.test_case "greedy certified to level Δ-2" `Quick
+            adversary_certifies_greedy;
+          Alcotest.test_case "proposal certified to level Δ-2" `Quick
+            adversary_certifies_proposal;
+          Alcotest.test_case "greedy matching certified (cf. [13])" `Quick
+            adversary_certifies_greedy_matching;
+          Alcotest.test_case "boundary linear in r" `Quick boundary_is_linear;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "delta=10 full certification" `Slow (fun () ->
+              let certs = certs_of (LB.run ~delta:10 Packing.greedy_algorithm) in
+              Alcotest.(check int) "9 levels" 9 (List.length certs);
+              List.iter (check_certificate 10) certs;
+              let top = List.nth certs 8 in
+              Alcotest.(check int) "top size 2^8" 256 (Ec.n top.g_graph));
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "base case (Fig. 5)" `Quick base_case_is_figure5;
+          Alcotest.test_case "sizes double (unfold)" `Quick graphs_double_per_level;
+          Alcotest.test_case "explicit views agree" `Quick views_match_explicit_trees;
+          Alcotest.test_case "delta validation" `Quick delta_validation;
+          Alcotest.test_case "report rendering" `Quick report_rendering;
+        ] );
+      ( "refutation",
+        [
+          Alcotest.test_case "truncations refuted with witnesses" `Quick
+            truncated_algorithms_refuted;
+          Alcotest.test_case "cheating algorithms rejected" `Quick
+            non_lift_invariant_rejected;
+        ] );
+      ( "locality",
+        [
+          Alcotest.test_case "certified algorithm locality > Δ-2" `Quick
+            locality_of_certified_algorithm;
+          Alcotest.test_case "violation details" `Quick locality_violation_details;
+          Alcotest.test_case "truncation bound" `Quick locality_respects_truncation;
+          Alcotest.test_case "ball extraction" `Quick ball_extraction;
+          Alcotest.test_case "ID locality (Israeli-Itai)" `Quick id_locality_of_israeli_itai;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "sexp roundtrip" `Quick sexp_roundtrip;
+          Alcotest.test_case "serialise + verify" `Quick certificate_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick certificate_file_roundtrip;
+          Alcotest.test_case "tampering detected" `Quick certificate_tamper_detected;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* The four models: EC, PO, OI, ID (paper §3.2–3.3, Figs. 1–2). *)
+
+module Ec = Ld_models.Ec
+module Po = Ld_models.Po
+module Colouring = Ld_models.Edge_colouring
+module Labelled = Ld_models.Labelled
+module G = Ld_graph.Graph
+module Gen = Ld_graph.Generators
+
+let ec_properness () =
+  (* Two darts of colour 1 at node 0: rejected. *)
+  Alcotest.check_raises "edge/edge clash"
+    (Invalid_argument "Ec.create: node 0 has two darts of colour 1 (colouring not proper)")
+    (fun () -> ignore (Ec.create ~n:3 ~edges:[ (0, 1, 1); (0, 2, 1) ] ~loops:[]));
+  Alcotest.check_raises "edge/loop clash"
+    (Invalid_argument "Ec.create: node 0 has two darts of colour 2 (colouring not proper)")
+    (fun () -> ignore (Ec.create ~n:2 ~edges:[ (0, 1, 2) ] ~loops:[ (0, 2) ]))
+
+let ec_loop_degree () =
+  (* Fig. 3 convention: an EC loop counts once. *)
+  let g = Ec.create ~n:2 ~edges:[ (0, 1, 1) ] ~loops:[ (0, 2); (0, 3); (1, 2) ] in
+  Alcotest.(check int) "deg 0" 3 (Ec.degree g 0);
+  Alcotest.(check int) "deg 1" 2 (Ec.degree g 1);
+  Alcotest.(check int) "max colour" 3 (Ec.max_colour g);
+  Alcotest.(check int) "min loops" 1 (Ec.min_loops g);
+  Alcotest.(check (list int)) "loops at 0" [ 0; 1 ] (List.sort compare (Ec.loops_at g 0))
+
+let ec_remove_loop () =
+  let g = Ec.create ~n:1 ~edges:[] ~loops:[ (0, 1); (0, 2); (0, 3) ] in
+  let h = Ec.remove_loop g 1 in
+  Alcotest.(check int) "loops left" 2 (Ec.num_loops h);
+  Alcotest.(check (list int)) "colours left" [ 1; 3 ]
+    (List.sort compare (List.map (fun (l : Ec.loop) -> l.colour) (Ec.loops h)))
+
+let ec_union_and_simple () =
+  let a = Ec.create ~n:2 ~edges:[ (0, 1, 1) ] ~loops:[ (0, 2) ] in
+  let b = Ec.create ~n:1 ~edges:[] ~loops:[ (0, 1) ] in
+  let u = Ec.disjoint_union a b in
+  Alcotest.(check int) "n" 3 (Ec.n u);
+  Alcotest.(check int) "loops" 2 (Ec.num_loops u);
+  let s = Ec.of_simple (Gen.path 3) ~colour:(fun (u, _) -> u + 1) in
+  Alcotest.(check int) "of_simple edges" 2 (Ec.num_edges s);
+  Alcotest.(check bool) "roundtrip" true
+    (G.is_isomorphic_small (Ec.to_simple s) (Gen.path 3));
+  Alcotest.check_raises "to_simple with loops"
+    (Invalid_argument "Ec.to_simple: graph has loops") (fun () ->
+      ignore (Ec.to_simple a))
+
+let po_loop_degree () =
+  (* Fig. 3 convention: a PO loop counts twice (out + in). *)
+  let g = Po.create ~n:2 ~arcs:[ (0, 1, 1) ] ~loops:[ (0, 2); (1, 2) ] in
+  Alcotest.(check int) "deg 0" 3 (Po.degree g 0);
+  Alcotest.(check int) "deg 1" 3 (Po.degree g 1)
+
+let po_properness () =
+  (* Two outgoing colour-1 arcs at node 0: rejected; an outgoing and an
+     incoming arc of the same colour are fine. *)
+  Alcotest.check_raises "out clash"
+    (Invalid_argument "Po.create: node 0 has two outgoing darts of colour 1")
+    (fun () -> ignore (Po.create ~n:3 ~arcs:[ (0, 1, 1); (0, 2, 1) ] ~loops:[]));
+  let ok = Po.create ~n:3 ~arcs:[ (0, 1, 1); (2, 0, 1) ] ~loops:[] in
+  Alcotest.(check int) "mixed colours fine" 2 (Po.degree ok 0)
+
+let po_of_ports_roundtrip () =
+  (* Fig. 2(a): the port-numbered triangle-ish example — encode, then
+     check that port lists follow out-by-colour then in-by-colour. *)
+  let g = Po.of_ports ~n:3 ~connections:[ (0, 1, 1, 2); (1, 1, 2, 1); (2, 2, 0, 2) ] in
+  Alcotest.(check int) "arcs" 3 (Po.num_arcs g);
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "deg %d" v) 2 (Po.degree g v))
+    [ 0; 1; 2 ];
+  let ports = Po.ports g 0 in
+  Alcotest.(check bool) "port 1 of node 0 is outgoing" true
+    (Po.dart_is_out ports.(0));
+  Alcotest.(check bool) "port 2 of node 0 is incoming" false
+    (Po.dart_is_out ports.(1));
+  Alcotest.check_raises "port reuse rejected"
+    (Invalid_argument "Po.of_ports: port 1 of node 0 used twice") (fun () ->
+      ignore (Po.of_ports ~n:2 ~connections:[ (0, 1, 1, 1); (0, 1, 1, 2) ]))
+
+let po_of_ec_doubles () =
+  (* §5.1: every EC edge becomes two arcs, loops become directed loops;
+     degrees double. *)
+  let ec = Ec.create ~n:2 ~edges:[ (0, 1, 1) ] ~loops:[ (0, 2) ] in
+  let po = Po.of_ec ec in
+  Alcotest.(check int) "arcs" 2 (Po.num_arcs po);
+  Alcotest.(check int) "loops" 1 (Po.num_loops po);
+  Alcotest.(check int) "deg doubles" (2 * Ec.degree ec 0) (Po.degree po 0)
+
+let colouring_proper_on_families =
+  QCheck.Test.make ~count:60 ~name:"greedy edge colouring proper, <= 2Δ-1 colours"
+    (QCheck.pair (QCheck.int_range 2 25) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      let g = Ld_graph.Generators.random_bounded_degree ~seed n 5 in
+      let colour = Colouring.greedy g in
+      Colouring.is_proper g colour
+      && (G.m g = 0
+         || Colouring.num_colours g colour <= (2 * G.max_degree g) - 1))
+
+let ec_of_simple_families () =
+  List.iter
+    (fun g ->
+      let ec = Colouring.ec_of_simple g in
+      Alcotest.(check int) "edges preserved" (G.m g) (Ec.num_edges ec);
+      Alcotest.(check int) "degree preserved" (G.max_degree g) (Ec.max_degree ec))
+    [ Gen.path 7; Gen.cycle 8; Gen.star 6; Gen.grid 3 4; Gen.complete 5 ]
+
+let labelled_id_oi () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "duplicate ids" (Invalid_argument "Id.create: duplicate id")
+    (fun () -> ignore (Labelled.Id.create g [| 1; 1; 2 |]));
+  let id = Labelled.Id.create g [| 30; 10; 20 |] in
+  let oi = Labelled.Oi.of_id id in
+  Alcotest.(check bool) "1 precedes 2" true (Labelled.Oi.precedes oi 1 2);
+  Alcotest.(check bool) "2 precedes 0" true (Labelled.Oi.precedes oi 2 0);
+  (* An order-respecting reassignment keeps the order. *)
+  let id' = Labelled.Oi.assign oi [| 5; 100; 2 |] in
+  Alcotest.(check int) "smallest id to rank-0 node" 2 (Labelled.Id.id id' 1);
+  Alcotest.(check int) "largest id to rank-2 node" 100 (Labelled.Id.id id' 0)
+
+let dot_export () =
+  let has doc needle =
+    let n = String.length needle and h = String.length doc in
+    let rec go i = i + n <= h && (String.sub doc i n = needle || go (i + 1)) in
+    go 0
+  in
+  let ec = Ec.create ~n:2 ~edges:[ (0, 1, 1) ] ~loops:[ (0, 2) ] in
+  let doc = Ld_models.Dot.ec ec in
+  Alcotest.(check bool) "graph header" true (has doc "graph G {");
+  Alcotest.(check bool) "edge present" true (has doc "v0 -- v1");
+  Alcotest.(check bool) "loop stub dashed" true (has doc "style=dashed");
+  let po = Po.of_ec ec in
+  let doc' = Ld_models.Dot.po po in
+  Alcotest.(check bool) "digraph header" true (has doc' "digraph G {");
+  Alcotest.(check bool) "both arcs" true (has doc' "v0 -> v1" && has doc' "v1 -> v0");
+  Alcotest.(check bool) "directed self-loop" true (has doc' "v0 -> v0");
+  let doc'' = Ld_models.Dot.simple (Gen.path 3) in
+  Alcotest.(check bool) "simple edges" true (has doc'' "v1 -- v2")
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "ec",
+        [
+          Alcotest.test_case "properness" `Quick ec_properness;
+          Alcotest.test_case "loop degree" `Quick ec_loop_degree;
+          Alcotest.test_case "remove loop" `Quick ec_remove_loop;
+          Alcotest.test_case "union and simple" `Quick ec_union_and_simple;
+        ] );
+      ( "po",
+        [
+          Alcotest.test_case "loop degree" `Quick po_loop_degree;
+          Alcotest.test_case "properness" `Quick po_properness;
+          Alcotest.test_case "of_ports" `Quick po_of_ports_roundtrip;
+          Alcotest.test_case "of_ec" `Quick po_of_ec_doubles;
+        ] );
+      ( "colouring",
+        [
+          QCheck_alcotest.to_alcotest colouring_proper_on_families;
+          Alcotest.test_case "ec_of_simple families" `Quick ec_of_simple_families;
+        ] );
+      ("labelled", [ Alcotest.test_case "id and oi" `Quick labelled_id_oi ]);
+      ("dot", [ Alcotest.test_case "export" `Quick dot_export ]);
+    ]

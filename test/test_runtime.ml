@@ -1,0 +1,220 @@
+(* LOCAL runtime: anonymous runners (loop reflection) and the ID
+   simulator. *)
+
+module Ec = Ld_models.Ec
+module Po = Ld_models.Po
+module Anon_ec = Ld_runtime.Anon_ec
+module Anon_po = Ld_runtime.Anon_po
+module Sync = Ld_runtime.Sync
+module View = Ld_cover.View
+module Lift = Ld_cover.Lift
+module Gen = Ld_graph.Generators
+module Labelled = Ld_models.Labelled
+
+(* A full-information machine whose state after r rounds is (a hash of)
+   the radius-r view: used to validate loop reflection against explicit
+   lifts and view trees. *)
+type probe = { seen : string }
+
+let probe_machine : (probe, string) Anon_ec.machine =
+  {
+    init =
+      (fun ~degree:_ ~colours ->
+        { seen = String.concat "," (List.map string_of_int colours) });
+    send = (fun s ~colour:_ -> s.seen);
+    recv =
+      (fun s inbox ->
+        {
+          seen =
+            s.seen ^ "|"
+            ^ String.concat ";"
+                (List.map (fun (c, m) -> Printf.sprintf "%d<%s>" c m) inbox);
+        });
+    halted = (fun _ -> false);
+  }
+
+let random_loopy ~seed n =
+  let tree = Gen.random_tree ~seed n in
+  let base = Ld_models.Edge_colouring.ec_of_simple tree in
+  let next = Ec.max_colour base in
+  Ec.create ~n
+    ~edges:(List.map (fun (e : Ec.edge) -> (e.u, e.v, e.colour)) (Ec.edges base))
+    ~loops:(List.init n (fun v -> (v, next + 1)))
+
+let reflection_agrees_with_lift =
+  QCheck.Test.make ~count:40
+    ~name:"EC runner on multigraph = runner on 2-lift, fiberwise"
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      let g = random_loopy ~seed n in
+      let cov = Lift.unfold_loop g ~loop_id:0 in
+      let rounds = 3 in
+      let base_states = Anon_ec.run probe_machine ~rounds g in
+      let lift_states = Anon_ec.run probe_machine ~rounds cov.total in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun v s -> s.seen = base_states.(cov.map.(v)).seen)
+           lift_states))
+
+let state_determined_by_view =
+  QCheck.Test.make ~count:40
+    ~name:"after r rounds, probe state = function of radius-(r+1) view"
+    (QCheck.pair (QCheck.int_range 2 6) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      let g = random_loopy ~seed n in
+      let rounds = 2 in
+      let states = Anon_ec.run probe_machine ~rounds g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let same_view =
+            View.equal
+              (View.of_ec g u ~radius:(rounds + 1))
+              (View.of_ec g v ~radius:(rounds + 1))
+          in
+          if same_view && states.(u).seen <> states.(v).seen then ok := false
+        done
+      done;
+      !ok)
+
+let run_until_halts () =
+  (* Nodes halt after seeing [degree] rounds. *)
+  let machine : (int * int, unit) Anon_ec.machine =
+    {
+      init = (fun ~degree ~colours:_ -> (degree, 0));
+      send = (fun _ ~colour:_ -> ());
+      recv = (fun (d, r) _ -> (d, r + 1));
+      halted = (fun (d, r) -> r >= d);
+    }
+  in
+  let g = Ld_models.Edge_colouring.ec_of_simple (Gen.star 4) in
+  let _, rounds = Anon_ec.run_until machine ~max_rounds:100 g in
+  Alcotest.(check int) "rounds = max degree" 4 rounds
+
+(* PO probe: also checks that out/in darts are distinguished. *)
+type po_probe = { po_seen : string }
+
+let po_probe_machine : (po_probe, string) Anon_po.machine =
+  {
+    init =
+      (fun ~darts ->
+        {
+          po_seen =
+            String.concat ","
+              (List.map
+                 (fun (k : Anon_po.dart_key) ->
+                   Printf.sprintf "%s%d" (if k.out then "+" else "-") k.colour)
+                 darts);
+        });
+    send = (fun s _ -> s.po_seen);
+    recv =
+      (fun s inbox ->
+        {
+          po_seen =
+            s.po_seen ^ "|"
+            ^ String.concat ";"
+                (List.map
+                   (fun ((k : Anon_po.dart_key), m) ->
+                     Printf.sprintf "%s%d<%s>" (if k.out then "+" else "-") k.colour m)
+                   inbox);
+        });
+    halted = (fun _ -> false);
+  }
+
+let po_loop_reflection () =
+  (* A single node with one directed loop is covered by any directed
+     cycle with all arcs the same colour: states must match. *)
+  let base = Po.create ~n:1 ~arcs:[] ~loops:[ (0, 1) ] in
+  let cycle =
+    Po.create ~n:3 ~arcs:[ (0, 1, 1); (1, 2, 1); (2, 0, 1) ] ~loops:[]
+  in
+  let sb = Anon_po.run po_probe_machine ~rounds:3 base in
+  let sc = Anon_po.run po_probe_machine ~rounds:3 cycle in
+  Array.iter
+    (fun (s : po_probe) ->
+      Alcotest.(check string) "cycle node = loop node" sb.(0).po_seen s.po_seen)
+    sc
+
+let po_reflection_agrees_with_lift =
+  QCheck.Test.make ~count:40
+    ~name:"PO runner on multigraph = runner on EC-doubled lift, fiberwise"
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      (* Build a loopy EC graph; its PO version has directed loops. The
+         EC 2-lift's PO version covers it, with the same fiber map. *)
+      let g = random_loopy ~seed n in
+      let cov = Ld_cover.Lift.unfold_loop g ~loop_id:0 in
+      let po_base = Po.of_ec g in
+      let po_total = Po.of_ec cov.total in
+      let rounds = 3 in
+      let base_states = Anon_po.run po_probe_machine ~rounds po_base in
+      let lift_states = Anon_po.run po_probe_machine ~rounds po_total in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun v (s : po_probe) -> s.po_seen = base_states.(cov.map.(v)).po_seen)
+           lift_states))
+
+let po_orientation_matters () =
+  (* A 2-cycle (0->1, 1->0) of colour 1 versus a single undirected-ish
+     pair using distinct arcs: from a node's perspective, out and in
+     darts differ, so the directed path (0->1) gives different states at
+     its two endpoints. *)
+  let p = Po.create ~n:2 ~arcs:[ (0, 1, 1) ] ~loops:[] in
+  let s = Anon_po.run po_probe_machine ~rounds:2 p in
+  Alcotest.(check bool) "tail and head differ" true (s.(0).po_seen <> s.(1).po_seen)
+
+(* ID simulator: flood the minimum identifier; check rounds = eccentricity. *)
+type flood = { my_min : int; deg : int; halt_at : int; round : int }
+
+let flood_machine : (flood, int, int) Sync.machine =
+  {
+    init =
+      (fun ~id ~degree ~rng:_ ->
+        { my_min = id; deg = degree; halt_at = max_int; round = 0 });
+    send = (fun s ~port:_ -> Some s.my_min);
+    recv =
+      (fun s inbox ->
+        let m = List.fold_left (fun acc (_, v) -> min acc v) s.my_min inbox in
+        { s with my_min = m; round = s.round + 1 });
+    output = (fun s -> if s.round >= s.halt_at then Some s.my_min else None);
+  }
+
+let flood_min () =
+  let g = Gen.path 6 in
+  let id = Labelled.Id.create g [| 12; 4; 9; 3; 40; 7 |] in
+  let machine = { flood_machine with output = (fun s -> if s.round >= 5 then Some s.my_min else None) } in
+  let res = Sync.run machine ~seed:0 ~max_rounds:50 id in
+  Array.iter (fun o -> Alcotest.(check int) "all learn min" 3 o) res.outputs;
+  Alcotest.(check int) "rounds" 5 res.rounds
+
+let sync_reports_nonhalting () =
+  let g = Gen.path 2 in
+  let id = Labelled.Id.trivial g in
+  let never = { flood_machine with output = (fun _ -> None) } in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sync.run never ~seed:0 ~max_rounds:3 id);
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "anon_ec",
+        [
+          QCheck_alcotest.to_alcotest reflection_agrees_with_lift;
+          QCheck_alcotest.to_alcotest state_determined_by_view;
+          Alcotest.test_case "run_until" `Quick run_until_halts;
+        ] );
+      ( "anon_po",
+        [
+          Alcotest.test_case "loop reflection" `Quick po_loop_reflection;
+          QCheck_alcotest.to_alcotest po_reflection_agrees_with_lift;
+          Alcotest.test_case "orientation" `Quick po_orientation_matters;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "flood min" `Quick flood_min;
+          Alcotest.test_case "non-halting detected" `Quick sync_reports_nonhalting;
+        ] );
+    ]
