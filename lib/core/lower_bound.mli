@@ -89,6 +89,47 @@ val run :
 (** Highest certified level of an outcome ([-1] if none). *)
 val max_level : outcome -> int
 
+(** {2 Memoised frontier scans}
+
+    [run] rebuilds the whole [(G_i, H_i)] construction for every
+    algorithm it is pointed at, which makes the benchmark's truncation
+    scans ([r = 0, 1, …]) pay for [Θ(Δ)] constructions per scan. A
+    {!cache} stores one construction — every feasibility probe
+    [(level, graph, base output)] in check order, keyed by
+    [(delta, level)] — so the scans replay it instead. *)
+type cache
+
+(** [build_cache ~delta a] runs the full adversary against [a] once and
+    records every probe together with the outcome. [check_views] is
+    forwarded to the underlying {!run} and also used by any fallback
+    {!run} a later {!cached_run} needs.
+    @raise Invalid_argument if [delta < 2]. *)
+val build_cache : ?check_views:bool -> delta:int -> algorithm -> cache
+
+(** The base algorithm's recorded outcome — what {!run} returned during
+    {!build_cache}, physically shared (no recomputation). *)
+val cache_outcome : cache -> outcome
+
+(** [cached_run cache b] computes the outcome [run] would produce for
+    [b], reusing the cached construction: each probe graph is re-run
+    under [b] and checked for feasibility.
+
+    - If [b] fails feasibility at some probe, that is exactly where
+      [run] would have refuted it: the result is [Refuted] with the
+      cached certificates below the failing level (physically shared
+      with the cache) and a fresh failure witness.
+    - If [b] is feasible {e and equal to the base output} on every
+      probe, it walks the identical construction: the cached outcome is
+      returned as-is (physically shared).
+    - If [b] is feasible but diverges from the base output on some
+      probe, the cache does not apply and a full [run] is performed.
+
+    For the benchmark's truncated algorithms the divergent case never
+    arises: by Lemma 2 a feasible output on these loopy graphs is fully
+    saturated, and a saturated truncation of greedy/proposal equals the
+    untruncated output. *)
+val cached_run : cache -> algorithm -> outcome
+
 (** [boundary ~delta ~truncate_max base] runs the adversary against the
     [base] algorithm truncated to [r = 0, 1, …, truncate_max]
     communication rounds and returns, for each [r], the outcome's

@@ -1,0 +1,45 @@
+(* A minimal fork-join pool over OCaml 5 domains for the benchmark's
+   outer fan-out (per-Δ theorem rows, per-r frontier probes). Tasks are
+   pulled from a shared atomic index; results land in a slot per task,
+   so the output order is the submission order no matter which domain
+   ran what — callers see deterministic results. *)
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let default_domains () =
+  match Sys.getenv_opt "LD_DOMAINS" with
+  | Some s -> ( try Stdlib.max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+let map ?domains f items =
+  let input = Array.of_list items in
+  let n = Array.length input in
+  let requested =
+    match domains with Some d -> Stdlib.max 1 d | None -> default_domains ()
+  in
+  let workers = Stdlib.min requested n in
+  if workers <= 1 then List.map f items
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- (match f input.(i) with v -> Done v | exception e -> Failed e);
+        work ()
+      end
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join spawned;
+    (* Surface the first failure in submission order, as sequential
+       [List.map] would. *)
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Failed e -> raise e
+         | Pending -> assert false)
+  end
+
+let mapi ?domains f items =
+  map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) items)

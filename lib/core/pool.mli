@@ -1,0 +1,24 @@
+(** Fork-join fan-out over OCaml 5 domains.
+
+    The lower-bound engine's outer loops — one theorem row per [Δ], one
+    frontier probe per truncation round [r] — are embarrassingly
+    parallel: the engine has no global mutable state and the arithmetic
+    layer is purely functional, so each task can run in its own domain.
+    This pool maps a function over a task list with a small crew of
+    domains and joins the results {e in submission order}, so output is
+    bit-for-bit identical to the sequential run. *)
+
+(** [map ?domains f tasks] is [List.map f tasks], computed by up to
+    [domains] domains pulling tasks from a shared queue.
+
+    - [domains] defaults to the [LD_DOMAINS] environment variable if
+      set, else [min 8 (Domain.recommended_domain_count ())].
+    - With one worker (or fewer tasks than two) no domain is spawned:
+      the call degrades to plain [List.map f tasks].
+    - If any task raises, the exception of the {e earliest} failed task
+      (submission order) is re-raised after all domains joined — again
+      matching the sequential behaviour. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [mapi] is {!map} with the task's submission index. *)
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -39,34 +39,56 @@ let is_covering { total; base; map } =
     !ok
   end
 
+(* The unfold and double constructions run inside the adversary's hot
+   loop on graphs that double per level, so both build their edge and
+   loop arrays directly (no intermediate lists, no quadratic appends):
+   copy A keeps the base ids, copy B follows shifted, extras last. *)
+
 let unfold_loop g ~loop_id =
   let n = Ec.n g in
+  let m = Ec.num_edges g in
+  let nl = Ec.num_loops g in
   let l = Ec.loop g loop_id in
-  let keep_loops =
-    List.filteri (fun i _ -> i <> loop_id) (Ec.loops g)
-    |> List.map (fun (x : Ec.loop) -> (x.node, x.colour))
+  let edges =
+    Array.init
+      ((2 * m) + 1)
+      (fun i ->
+        if i < m then Ec.edge g i
+        else if i < 2 * m then
+          let (e : Ec.edge) = Ec.edge g (i - m) in
+          { e with u = e.u + n; v = e.v + n }
+        else { Ec.u = l.node; v = l.node + n; colour = l.colour })
   in
-  let edges = List.map (fun (e : Ec.edge) -> (e.u, e.v, e.colour)) (Ec.edges g) in
-  let shift_e (u, v, c) = (u + n, v + n, c) in
-  let shift_l (v, c) = (v + n, c) in
-  let total =
-    Ec.create ~n:(2 * n)
-      ~edges:(edges @ List.map shift_e edges @ [ (l.node, l.node + n, l.colour) ])
-      ~loops:(keep_loops @ List.map shift_l keep_loops)
+  let kept i = if i < loop_id then i else i + 1 in
+  let loops =
+    Array.init
+      (2 * (nl - 1))
+      (fun i ->
+        if i < nl - 1 then Ec.loop g (kept i)
+        else
+          let (x : Ec.loop) = Ec.loop g (kept (i - (nl - 1))) in
+          { x with node = x.node + n })
   in
+  let total = Ec.create_arrays ~n:(2 * n) ~edges ~loops in
   { total; base = g; map = Array.init (2 * n) (fun v -> v mod n) }
 
 let double g =
   let n = Ec.n g in
-  let edges = List.map (fun (e : Ec.edge) -> (e.u, e.v, e.colour)) (Ec.edges g) in
-  let crossing =
-    List.map (fun (l : Ec.loop) -> (l.node, l.node + n, l.colour)) (Ec.loops g)
+  let m = Ec.num_edges g in
+  let nl = Ec.num_loops g in
+  let edges =
+    Array.init
+      ((2 * m) + nl)
+      (fun i ->
+        if i < m then Ec.edge g i
+        else if i < 2 * m then
+          let (e : Ec.edge) = Ec.edge g (i - m) in
+          { e with u = e.u + n; v = e.v + n }
+        else
+          let (l : Ec.loop) = Ec.loop g (i - (2 * m)) in
+          { Ec.u = l.node; v = l.node + n; colour = l.colour })
   in
-  let total =
-    Ec.create ~n:(2 * n)
-      ~edges:(edges @ List.map (fun (u, v, c) -> (u + n, v + n, c)) edges @ crossing)
-      ~loops:[]
-  in
+  let total = Ec.create_arrays ~n:(2 * n) ~edges ~loops:[||] in
   { total; base = g; map = Array.init (2 * n) (fun v -> v mod n) }
 
 (* Round-robin schedule: in round r, team f-1 plays team r, and team

@@ -3,11 +3,14 @@ module Po = Ld_models.Po
 
 type history = int array array
 
-(* Generic refinement over a dart structure: [darts v] lists pairs of a
-   dart key (colour, direction, ...) and the node at the dart's other
-   end; a loop dart lists the node itself. Labels are interned per call
-   so that equal labels mean structurally identical descriptors. *)
-let refine_generic ~n ~(darts : int -> (int * int) list) ~rounds =
+(* ------------------------------------------------------------------ *)
+(* Reference path: generic refinement over a dart structure given as
+   closures producing (key, other end) lists. Labels are interned per
+   round so that equal labels mean structurally identical descriptors.
+   Kept verbatim as the differential-testing oracle for the flat path
+   below (exposed through [~reference:true]). *)
+
+let refine_generic_reference ~n ~(darts : int -> (int * int) list) ~rounds =
   let history = Array.make (rounds + 1) [||] in
   history.(0) <- Array.make n 0;
   for r = 1 to rounds do
@@ -48,8 +51,138 @@ let po_darts g v =
       | Po.Loop_in { colour; _ } -> ((colour * 2) + 1, v))
     (Po.darts g v)
 
-let refine_ec g ~rounds = refine_generic ~n:(Ec.n g) ~darts:(ec_darts g) ~rounds
-let refine_po g ~rounds = refine_generic ~n:(Po.n g) ~darts:(po_darts g) ~rounds
+(* ------------------------------------------------------------------ *)
+(* Flat path: the same refinement on the graphs' cached CSR dart views.
+   Each round packs every dart descriptor [(key, label of other end)]
+   into a single int [key * stride + label] (exactly the lexicographic
+   order of the pairs, since labels < stride), insertion-sorts each
+   node's short segment in place, and interns the int-tuple
+   [prev label; sorted dart codes...] through a monomorphic hash table —
+   no per-round lists, no polymorphic compare. Interning is in node
+   order, so the labels produced are identical (not merely
+   partition-equal) to the reference path's. *)
+
+type flat = {
+  fn : int;
+  frow : int array; (* length fn + 1 *)
+  fkey : int array; (* dart keys, per-node segments in [frow] *)
+  fother : int array; (* node at the dart's far end; self for loops *)
+}
+
+let flat_ec g =
+  let c = Ec.csr g in
+  { fn = Ec.n g; frow = c.Ec.row; fkey = c.Ec.colour; fother = c.Ec.other }
+
+let flat_po g =
+  let c = Po.csr g in
+  {
+    fn = Po.n g;
+    frow = c.Po.row;
+    fkey =
+      Array.init (Array.length c.Po.colour) (fun d ->
+          (c.Po.colour.(d) * 2) + c.Po.dir.(d));
+    fother = c.Po.other;
+  }
+
+module Descriptor = struct
+  type t = int array
+
+  let equal a b =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec go i =
+      i >= la || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+    in
+    go 0
+
+  (* FNV-1a over the ints, folded to a non-negative value. *)
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193
+    done;
+    !h land max_int
+end
+
+module Intern = Hashtbl.Make (Descriptor)
+
+(* One refinement round: reads [prev], writes [next], returns the number
+   of distinct labels assigned. [codes] is a scratch array of size
+   [frow.(fn)] reused across rounds. *)
+let flat_round { fn = n; frow = row; fkey = key; fother = other } ~stride ~codes
+    prev next =
+  let m = row.(n) in
+  for d = 0 to m - 1 do
+    Array.unsafe_set codes d
+      ((Array.unsafe_get key d * stride) + Array.unsafe_get prev (Array.unsafe_get other d))
+  done;
+  for v = 0 to n - 1 do
+    (* Insertion sort of the node's dart codes: segments are at most Δ
+       long and nearly sorted already (keys ascend within a node). *)
+    let lo = row.(v) and hi = row.(v + 1) - 1 in
+    for i = lo + 1 to hi do
+      let x = codes.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && codes.(!j) > x do
+        codes.(!j + 1) <- codes.(!j);
+        decr j
+      done;
+      codes.(!j + 1) <- x
+    done
+  done;
+  let intern = Intern.create (2 * n) in
+  for v = 0 to n - 1 do
+    let lo = row.(v) and len = row.(v + 1) - row.(v) in
+    let descriptor = Array.make (len + 1) prev.(v) in
+    Array.blit codes lo descriptor 1 len;
+    let label =
+      match Intern.find_opt intern descriptor with
+      | Some l -> l
+      | None ->
+        let l = Intern.length intern in
+        Intern.add intern descriptor l;
+        l
+    in
+    next.(v) <- label
+  done;
+  Intern.length intern
+
+let refine_flat fl ~rounds =
+  let n = fl.fn in
+  let history = Array.make (rounds + 1) [||] in
+  history.(0) <- Array.make n 0;
+  if n > 0 then begin
+    let stride = n + 1 in
+    let codes = Array.make fl.frow.(n) 0 in
+    let classes = ref 1 in
+    let stable = ref false in
+    for r = 1 to rounds do
+      if !stable then
+        (* Refinement only ever splits classes, and labels are assigned
+           densely by first occurrence, so once the class count stops
+           growing every later round relabels identically: share the
+           stabilised array instead of recomputing it. *)
+        history.(r) <- history.(r - 1)
+      else begin
+        let next = Array.make n 0 in
+        let k = flat_round fl ~stride ~codes history.(r - 1) next in
+        history.(r) <- next;
+        if k = !classes then stable := true else classes := k
+      end
+    done
+  end;
+  history
+
+let refine_ec ?(reference = false) g ~rounds =
+  if reference then
+    refine_generic_reference ~n:(Ec.n g) ~darts:(ec_darts g) ~rounds
+  else refine_flat (flat_ec g) ~rounds
+
+let refine_po ?(reference = false) g ~rounds =
+  if reference then
+    refine_generic_reference ~n:(Po.n g) ~darts:(po_darts g) ~rounds
+  else refine_flat (flat_po g) ~rounds
 
 let equivalent_radius g u h v ~radius =
   let union = Ec.disjoint_union g h in
@@ -66,19 +199,30 @@ let first_distinguishing_radius g u h v ~max_radius =
   in
   scan 0
 
-let num_classes labels =
-  List.length (List.sort_uniq compare (Array.to_list labels))
-
-let stable_generic ~n ~darts =
-  (* Refinement stabilises after at most n rounds; stop as soon as the
-     class count stops growing (refinement only ever splits classes). *)
-  let rec go r prev_classes =
-    let history = refine_generic ~n ~darts ~rounds:r in
-    let classes = num_classes history.(r) in
-    if classes = prev_classes || r >= n + 1 then history.(r)
-    else go (r + 1) classes
-  in
-  if n = 0 then [||] else go 1 1
+(* Refine to a fixpoint incrementally — one round at a time on the flat
+   view, stopping as soon as the class count stops growing (refinement
+   only ever splits classes), instead of restarting the whole history
+   for every candidate round count. *)
+let stable_flat fl =
+  let n = fl.fn in
+  if n = 0 then [||]
+  else begin
+    let stride = n + 1 in
+    let codes = Array.make fl.frow.(n) 0 in
+    let labels = ref (Array.make n 0) in
+    let classes = ref 1 in
+    let rounds = ref 0 in
+    let stable = ref false in
+    (* Stabilisation takes at most n rounds; the cap is just a guard. *)
+    while (not !stable) && !rounds <= n + 1 do
+      let next = Array.make n 0 in
+      let k = flat_round fl ~stride ~codes !labels next in
+      labels := next;
+      if k = !classes then stable := true else classes := k;
+      incr rounds
+    done;
+    !labels
+  end
 
 let densify labels =
   let mapping = Hashtbl.create 16 in
@@ -92,8 +236,5 @@ let densify labels =
         d)
     labels
 
-let stable_partition_ec g =
-  densify (stable_generic ~n:(Ec.n g) ~darts:(ec_darts g))
-
-let stable_partition_po g =
-  densify (stable_generic ~n:(Po.n g) ~darts:(po_darts g))
+let stable_partition_ec g = densify (stable_flat (flat_ec g))
+let stable_partition_po g = densify (stable_flat (flat_po g))

@@ -18,12 +18,22 @@
     {!equivalent_radius}). *)
 type history = int array array
 
-(** [refine_ec g ~rounds] runs refinement on an EC multigraph. *)
-val refine_ec : Ld_models.Ec.t -> rounds:int -> history
+(** [refine_ec g ~rounds] runs refinement on an EC multigraph.
+
+    The default implementation works on the graph's cached CSR dart
+    view: descriptors are packed into flat int arrays, interned through
+    a monomorphic int-tuple hash table, and rounds past partition
+    stabilisation share the stabilised labelling instead of recomputing
+    it. [~reference:true] selects the original list-based,
+    polymorphic-compare implementation; both produce {e identical}
+    label arrays (a tested invariant), the reference path just does so
+    slowly. *)
+val refine_ec : ?reference:bool -> Ld_models.Ec.t -> rounds:int -> history
 
 (** [refine_po g ~rounds] runs refinement on a PO multigraph; dart keys
-    carry the direction, so orientation is respected. *)
-val refine_po : Ld_models.Po.t -> rounds:int -> history
+    carry the direction, so orientation is respected. [?reference] as in
+    {!refine_ec}. *)
+val refine_po : ?reference:bool -> Ld_models.Po.t -> rounds:int -> history
 
 (** [equivalent_radius g u h v ~radius] decides
     [τ_radius(UG, u) ≅ τ_radius(UH, v)] for EC graphs. *)

@@ -25,15 +25,39 @@ let dart_weight y = function
   | Ec.To_neighbour { edge_id; _ } -> y.edge_w.(edge_id)
   | Ec.Into_loop { loop_id; _ } -> y.loop_w.(loop_id)
 
+(* Weight of the dart at CSR code [c] (edge id, or [-loop_id - 1]). *)
+let code_weight y c = if c >= 0 then y.edge_w.(c) else y.loop_w.(-c - 1)
+
 let node_weight y v =
-  Q.sum (List.map (dart_weight y) (Ec.darts y.graph v))
+  let { Ec.row; code; _ } = Ec.csr y.graph in
+  let acc = ref Q.zero in
+  for d = row.(v) to row.(v + 1) - 1 do
+    acc := Q.add !acc (code_weight y code.(d))
+  done;
+  !acc
 
 let is_saturated y v = Q.equal (node_weight y v) Q.one
 
+(* All node weights in one pass over the CSR darts; the feasibility
+   checkers below use this to test saturation per node once instead of
+   once per incident edge. *)
+let node_weights y =
+  let n = Ec.n y.graph in
+  let { Ec.row; code; _ } = Ec.csr y.graph in
+  let w = Array.make n Q.zero in
+  for v = 0 to n - 1 do
+    let acc = ref Q.zero in
+    for d = row.(v) to row.(v + 1) - 1 do
+      acc := Q.add !acc (code_weight y code.(d))
+    done;
+    w.(v) <- !acc
+  done;
+  w
+
 let total y =
   Q.add
-    (Q.sum (Array.to_list y.edge_w))
-    (Q.sum (Array.to_list y.loop_w))
+    (Array.fold_left Q.add Q.zero y.edge_w)
+    (Array.fold_left Q.add Q.zero y.loop_w)
 
 type violation =
   | Weight_out_of_range of [ `Edge of int | `Loop of int ]
@@ -51,30 +75,31 @@ let validity_violations y =
   Array.iteri
     (fun id w -> if not (in_range w) then acc := Weight_out_of_range (`Loop id) :: !acc)
     y.loop_w;
+  let w = node_weights y in
   for v = 0 to Ec.n y.graph - 1 do
-    if Q.compare (node_weight y v) Q.one > 0 then acc := Node_overloaded v :: !acc
+    if Q.compare w.(v) Q.one > 0 then acc := Node_overloaded v :: !acc
   done;
   List.rev !acc
 
 let maximality_violations y =
+  let w = node_weights y in
+  let sat v = Q.equal w.(v) Q.one in
   let acc = ref [] in
-  List.iteri
-    (fun id (e : Ec.edge) ->
-      if not (is_saturated y e.u || is_saturated y e.v) then
-        acc := Unsaturated_edge id :: !acc)
-    (Ec.edges y.graph);
-  List.iteri
-    (fun id (l : Ec.loop) ->
-      if not (is_saturated y l.node) then acc := Unsaturated_loop id :: !acc)
-    (Ec.loops y.graph);
-  List.rev !acc
+  for id = Ec.num_loops y.graph - 1 downto 0 do
+    if not (sat (Ec.loop y.graph id).node) then acc := Unsaturated_loop id :: !acc
+  done;
+  for id = Ec.num_edges y.graph - 1 downto 0 do
+    let e = Ec.edge y.graph id in
+    if not (sat e.u || sat e.v) then acc := Unsaturated_edge id :: !acc
+  done;
+  !acc
 
 let is_fm y = validity_violations y = []
 let is_maximal_fm y = is_fm y && maximality_violations y = []
 
 let is_fully_saturated y =
-  let rec go v = v >= Ec.n y.graph || (is_saturated y v && go (v + 1)) in
-  go 0
+  let w = node_weights y in
+  Array.for_all (fun x -> Q.equal x Q.one) w
 
 let equal a b =
   Ec.equal a.graph b.graph
@@ -90,18 +115,14 @@ let pull_back (cov : Ld_cover.Lift.covering) y =
     | None -> invalid_arg "Fm.pull_back: not a covering (missing base dart)"
   in
   let edge_w =
-    Array.of_list
-      (List.map
-         (fun (e : Ec.edge) ->
-           dart_weight y (base_dart cov.map.(e.u) e.colour))
-         (Ec.edges cov.total))
+    Array.init (Ec.num_edges cov.total) (fun id ->
+        let e = Ec.edge cov.total id in
+        dart_weight y (base_dart cov.map.(e.u) e.colour))
   in
   let loop_w =
-    Array.of_list
-      (List.map
-         (fun (l : Ec.loop) ->
-           dart_weight y (base_dart cov.map.(l.node) l.colour))
-         (Ec.loops cov.total))
+    Array.init (Ec.num_loops cov.total) (fun id ->
+        let l = Ec.loop cov.total id in
+        dart_weight y (base_dart cov.map.(l.node) l.colour))
   in
   { graph = cov.total; edge_w; loop_w }
 

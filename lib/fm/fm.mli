@@ -33,8 +33,16 @@ val loop_weight : t -> int -> Q.t
 (** Weight of the edge or loop behind a dart. *)
 val dart_weight : t -> Ld_models.Ec.dart -> Q.t
 
+(** Weight of the dart behind a CSR dart code ([Ec.csr]'s [code.(d)]:
+    an edge id, or [-loop_id - 1]) — the allocation-free variant of
+    {!dart_weight} used by the hot paths. *)
+val code_weight : t -> int -> Q.t
+
 (** [node_weight y v] is [y[v]]. *)
 val node_weight : t -> int -> Q.t
+
+(** All node weights, computed in one pass over the CSR dart view. *)
+val node_weights : t -> Q.t array
 
 val is_saturated : t -> int -> bool
 

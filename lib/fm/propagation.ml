@@ -27,32 +27,42 @@ type walk_outcome =
    the graphs where this walk is used) there must be a second differing
    dart. A differing loop ends the walk; otherwise we cross the
    differing edge and repeat with that edge's colour excluded — never
-   backtracking, so on a tree-plus-loops graph the walk terminates. *)
+   backtracking, so on a tree-plus-loops graph the walk terminates.
+
+   The candidate scan iterates the graph's CSR dart view: a differing
+   loop (in colour order) wins, else the first differing edge. *)
 let walk ~y ~y' ~start ~first =
+  let graph = Fm.graph y in
+  let { Ec.row; colour; code; _ } = Ec.csr graph in
+  let code_differs c =
+    not (Q.equal (Fm.code_weight y c) (Fm.code_weight y' c))
+  in
   let differs d = not (Q.equal (Fm.dart_weight y d) (Fm.dart_weight y' d)) in
   if not (differs first) then
     invalid_arg "Propagation.walk: initial dart does not differ";
-  let bound = (2 * Ec.n (Fm.graph y)) + 2 in
-  let rec go node excluded trace =
-    if List.length trace > bound then
+  let bound = (2 * Ec.n graph) + 2 in
+  let rec go node excluded depth trace =
+    if depth > bound then
       failwith "Propagation.walk: no termination (graph is not a tree plus loops?)";
-    let candidates =
-      List.filter
-        (fun d -> differs d && Ec.dart_colour d <> excluded)
-        (Ec.darts (Fm.graph y) node)
-    in
-    let loops, edges =
-      List.partition (function Ec.Into_loop _ -> true | Ec.To_neighbour _ -> false)
-        candidates
-    in
-    match (loops, edges) with
-    | (Ec.Into_loop { loop_id; _ } as d) :: _, _ ->
+    let hi = row.(node + 1) in
+    let best_loop = ref (-1) and best_edge = ref (-1) in
+    for d = row.(node) to hi - 1 do
+      if colour.(d) <> excluded && code_differs code.(d) then
+        if code.(d) < 0 then (if !best_loop < 0 then best_loop := d)
+        else if !best_edge < 0 then best_edge := d
+    done;
+    if !best_loop >= 0 then begin
+      let d = Ec.dart_at graph !best_loop in
+      let loop_id = -code.(!best_loop) - 1 in
       Loop_found { node; loop_id; trace = List.rev ({ node; via = d } :: trace) }
-    | [], (Ec.To_neighbour { neighbour; colour; _ } as d) :: _ ->
-      go neighbour colour ({ node; via = d } :: trace)
-    | [], [] -> Stuck { node; trace = List.rev trace }
-    | Ec.To_neighbour _ :: _, _ | [], Ec.Into_loop _ :: _ ->
-      (* impossible by the partition *)
-      assert false
+    end
+    else if !best_edge >= 0 then begin
+      let d = Ec.dart_at graph !best_edge in
+      match d with
+      | Ec.To_neighbour { neighbour; colour; _ } ->
+        go neighbour colour (depth + 1) ({ node; via = d } :: trace)
+      | Ec.Into_loop _ -> assert false
+    end
+    else Stuck { node; trace = List.rev trace }
   in
-  go start (Ec.dart_colour first) [ { node = start; via = first } ]
+  go start (Ec.dart_colour first) 1 [ { node = start; via = first } ]

@@ -5,16 +5,58 @@ type dart =
   | To_neighbour of { neighbour : int; edge_id : int; colour : int }
   | Into_loop of { loop_id : int; colour : int }
 
+(* Flat CSR dart view, built once per graph (in [build]) and cached in
+   the value. Dart [d] of node [v] lives at indices [row.(v) .. row.(v+1)-1],
+   in ascending colour order (the same order as the [darts] lists):
+   [colour.(d)] is its colour, [other.(d)] the node at the far end (the
+   node itself for a loop — the loop-reflection convention), and
+   [code.(d)] is the edge id, or [-loop_id - 1] for a loop. The arrays
+   must never be mutated by consumers. *)
+type csr = {
+  row : int array;
+  colour : int array;
+  other : int array;
+  code : int array;
+}
+
 type t = {
   n : int;
   edges : edge array;
   loops : loop array;
   darts : dart list array; (* per node, sorted by colour *)
+  csr : csr;
 }
 
 let dart_colour = function
   | To_neighbour { colour; _ } -> colour
   | Into_loop { colour; _ } -> colour
+
+let csr_of_darts n (darts : dart list array) =
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + List.length darts.(v)
+  done;
+  let m = row.(n) in
+  let colour = Array.make m 0 in
+  let other = Array.make m 0 in
+  let code = Array.make m 0 in
+  for v = 0 to n - 1 do
+    let d = ref row.(v) in
+    List.iter
+      (fun dart ->
+        (match dart with
+        | To_neighbour { neighbour; edge_id; colour = c } ->
+          colour.(!d) <- c;
+          other.(!d) <- neighbour;
+          code.(!d) <- edge_id
+        | Into_loop { loop_id; colour = c } ->
+          colour.(!d) <- c;
+          other.(!d) <- v;
+          code.(!d) <- -loop_id - 1);
+        incr d)
+      darts.(v)
+  done;
+  { row; colour; other; code }
 
 let build n edges loops =
   let darts = Array.make n [] in
@@ -47,33 +89,34 @@ let build n edges loops =
       check sorted;
       darts.(v) <- sorted)
     darts;
-  { n; edges; loops; darts }
+  { n; edges; loops; darts; csr = csr_of_darts n darts }
 
-let create ~n ~edges ~loops =
+let validated n edges loops =
   if n < 0 then invalid_arg "Ec.create: negative n";
   let check_node v = if v < 0 || v >= n then invalid_arg "Ec.create: node out of range" in
   let check_colour c = if c < 1 then invalid_arg "Ec.create: colours must be >= 1" in
-  let edges =
-    Array.of_list
-      (List.map
-         (fun (u, v, colour) ->
-           check_node u;
-           check_node v;
-           check_colour colour;
-           if u = v then invalid_arg "Ec.create: self-edge; use ~loops";
-           { u; v; colour })
-         edges)
-  in
-  let loops =
-    Array.of_list
-      (List.map
-         (fun (node, colour) ->
-           check_node node;
-           check_colour colour;
-           { node; colour })
-         loops)
-  in
+  Array.iter
+    (fun e ->
+      check_node e.u;
+      check_node e.v;
+      check_colour e.colour;
+      if e.u = e.v then invalid_arg "Ec.create: self-edge; use ~loops")
+    edges;
+  Array.iter
+    (fun l ->
+      check_node l.node;
+      check_colour l.colour)
+    loops;
   build n edges loops
+
+let create ~n ~edges ~loops =
+  validated n
+    (Array.of_list (List.map (fun (u, v, colour) -> { u; v; colour }) edges))
+    (Array.of_list (List.map (fun (node, colour) -> { node; colour }) loops))
+
+let create_arrays ~n ~edges ~loops =
+  (* Defensive copies: [build] keeps the arrays in the value. *)
+  validated n (Array.copy edges) (Array.copy loops)
 
 let n g = g.n
 let num_edges g = Array.length g.edges
@@ -83,11 +126,31 @@ let loop g id = g.loops.(id)
 let edges g = Array.to_list g.edges
 let loops g = Array.to_list g.loops
 let darts g v = g.darts.(v)
+let csr g = g.csr
+
+(* Reconstruct the dart at CSR index [d]. *)
+let dart_at g d =
+  let { colour; other; code; _ } = g.csr in
+  if code.(d) >= 0 then
+    To_neighbour { neighbour = other.(d); edge_id = code.(d); colour = colour.(d) }
+  else Into_loop { loop_id = -code.(d) - 1; colour = colour.(d) }
+  [@@inline]
 
 let dart_by_colour g v c =
-  List.find_opt (fun d -> dart_colour d = c) g.darts.(v)
+  (* Darts of a node are sorted by colour: binary search the segment. *)
+  let { row; colour; _ } = g.csr in
+  let lo = ref row.(v) and hi = ref (row.(v + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cm = colour.(mid) in
+    if cm = c then found := mid
+    else if cm < c then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then None else Some (dart_at g !found)
 
-let degree g v = List.length g.darts.(v)
+let degree g v = g.csr.row.(v + 1) - g.csr.row.(v)
 
 let max_degree g =
   let best = ref 0 in
@@ -99,7 +162,7 @@ let max_degree g =
 let max_colour g =
   let c = ref 0 in
   Array.iter (fun (e : edge) -> c := Stdlib.max !c e.colour) g.edges;
-  Array.iter (fun l -> c := Stdlib.max !c l.colour) g.loops;
+  Array.iter (fun (l : loop) -> c := Stdlib.max !c l.colour) g.loops;
   !c
 
 let loops_at g v =
@@ -110,9 +173,14 @@ let loops_at g v =
 let min_loops g =
   if g.n = 0 then 0
   else begin
+    let { row; code; _ } = g.csr in
     let best = ref max_int in
     for v = 0 to g.n - 1 do
-      best := Stdlib.min !best (List.length (loops_at g v))
+      let count = ref 0 in
+      for d = row.(v) to row.(v + 1) - 1 do
+        if code.(d) < 0 then incr count
+      done;
+      best := Stdlib.min !best !count
     done;
     !best
   end
@@ -120,8 +188,9 @@ let min_loops g =
 let remove_loop g id =
   if id < 0 || id >= Array.length g.loops then invalid_arg "Ec.remove_loop";
   let loops =
-    Array.of_list
-      (List.filteri (fun i _ -> i <> id) (Array.to_list g.loops))
+    Array.init
+      (Array.length g.loops - 1)
+      (fun i -> if i < id then g.loops.(i) else g.loops.(i + 1))
   in
   build g.n g.edges loops
 
@@ -156,7 +225,8 @@ let canonical_edge e =
   (Stdlib.min e.u e.v, Stdlib.max e.u e.v, e.colour)
 
 let equal a b =
-  a.n = b.n
+  a == b
+  || a.n = b.n
   && List.sort compare (List.map canonical_edge (edges a))
      = List.sort compare (List.map canonical_edge (edges b))
   && List.sort compare (List.map (fun l -> (l.node, l.colour)) (loops a))

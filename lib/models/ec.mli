@@ -27,6 +27,11 @@ type t
     [(v, v, _)] (use [loops] for those). *)
 val create : n:int -> edges:(int * int * int) list -> loops:(int * int) list -> t
 
+(** [create_arrays ~n ~edges ~loops] is [create] on prebuilt records —
+    the allocation-light constructor used by the hot construction paths
+    (unfold, mix, lifts). The arrays are copied. *)
+val create_arrays : n:int -> edges:edge array -> loops:loop array -> t
+
 val n : t -> int
 val num_edges : t -> int
 val num_loops : t -> int
@@ -38,6 +43,26 @@ val loops : t -> loop list
 
 (** Darts at a node, sorted by colour. *)
 val darts : t -> int -> dart list
+
+(** Flat CSR view of all darts, computed once at construction and cached
+    in the value: dart [d] of node [v] occupies indices
+    [row.(v) .. row.(v+1) - 1] in ascending colour order (mirroring
+    {!darts}); [colour.(d)] is its colour, [other.(d)] the node at the
+    far end ([v] itself for a loop — loop reflection built in), and
+    [code.(d)] the edge id, or [-loop_id - 1] for a loop. This is the
+    representation the hot paths (refinement, runners, propagation)
+    iterate; treat the arrays as read-only. *)
+type csr = {
+  row : int array;
+  colour : int array;
+  other : int array;
+  code : int array;
+}
+
+val csr : t -> csr
+
+(** [dart_at g d] reconstructs the dart at CSR index [d]. *)
+val dart_at : t -> int -> dart
 
 val dart_colour : dart -> int
 

@@ -7,11 +7,27 @@ type dart =
   | Loop_out of { loop_id : int; colour : int }
   | Loop_in of { loop_id : int; colour : int }
 
+(* Flat CSR dart view, built once per graph and cached in the value.
+   Dart [d] of node [v] lives at [row.(v) .. row.(v+1)-1] in the same
+   order as the [darts] lists (out darts by colour, then in darts by
+   colour): [colour.(d)] is its colour, [dir.(d)] is 0 for an out dart
+   and 1 for an in dart, [other.(d)] the node at the far end (the node
+   itself for loops), and [code.(d)] the arc id, or [-loop_id - 1] for
+   a loop dart. Consumers must not mutate the arrays. *)
+type csr = {
+  row : int array;
+  colour : int array;
+  dir : int array;
+  other : int array;
+  code : int array;
+}
+
 type t = {
   n : int;
   arcs : arc array;
   loops : loop array;
   darts : dart list array; (* out darts by colour, then in darts by colour *)
+  csr : csr;
 }
 
 let dart_colour = function
@@ -21,6 +37,46 @@ let dart_colour = function
 let dart_is_out = function
   | Out _ | Loop_out _ -> true
   | In _ | Loop_in _ -> false
+
+let csr_of_darts n (darts : dart list array) =
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + List.length darts.(v)
+  done;
+  let m = row.(n) in
+  let colour = Array.make m 0 in
+  let dir = Array.make m 0 in
+  let other = Array.make m 0 in
+  let code = Array.make m 0 in
+  for v = 0 to n - 1 do
+    let d = ref row.(v) in
+    List.iter
+      (fun dart ->
+        (match dart with
+        | Out { neighbour; arc_id; colour = c } ->
+          colour.(!d) <- c;
+          dir.(!d) <- 0;
+          other.(!d) <- neighbour;
+          code.(!d) <- arc_id
+        | In { neighbour; arc_id; colour = c } ->
+          colour.(!d) <- c;
+          dir.(!d) <- 1;
+          other.(!d) <- neighbour;
+          code.(!d) <- arc_id
+        | Loop_out { loop_id; colour = c } ->
+          colour.(!d) <- c;
+          dir.(!d) <- 0;
+          other.(!d) <- v;
+          code.(!d) <- -loop_id - 1
+        | Loop_in { loop_id; colour = c } ->
+          colour.(!d) <- c;
+          dir.(!d) <- 1;
+          other.(!d) <- v;
+          code.(!d) <- -loop_id - 1);
+        incr d)
+      darts.(v)
+  done;
+  { row; colour; dir; other; code }
 
 let build n arcs loops =
   let outs = Array.make n [] and ins = Array.make n [] in
@@ -54,7 +110,7 @@ let build n arcs loops =
   for v = 0 to n - 1 do
     darts.(v) <- by_colour "outgoing" v outs.(v) @ by_colour "incoming" v ins.(v)
   done;
-  { n; arcs; loops; darts }
+  { n; arcs; loops; darts; csr = csr_of_darts n darts }
 
 let create ~n ~arcs ~loops =
   if n < 0 then invalid_arg "Po.create: negative n";
@@ -90,7 +146,8 @@ let loop g id = g.loops.(id)
 let arcs g = Array.to_list g.arcs
 let loops g = Array.to_list g.loops
 let darts g v = g.darts.(v)
-let degree g v = List.length g.darts.(v)
+let csr g = g.csr
+let degree g v = g.csr.row.(v + 1) - g.csr.row.(v)
 
 let max_degree g =
   let best = ref 0 in
@@ -102,7 +159,7 @@ let max_degree g =
 let max_colour g =
   let c = ref 0 in
   Array.iter (fun (a : arc) -> c := Stdlib.max !c a.colour) g.arcs;
-  Array.iter (fun l -> c := Stdlib.max !c l.colour) g.loops;
+  Array.iter (fun (l : loop) -> c := Stdlib.max !c l.colour) g.loops;
   !c
 
 let ports g v = Array.of_list g.darts.(v)

@@ -7,22 +7,29 @@ type ('state, 'msg) machine = {
   halted : 'state -> bool;
 }
 
+(* Both the initial scan and the round loop iterate the graph's flat CSR
+   dart view instead of the dart lists; [other.(d)] is the node itself
+   for loop darts, so loop reflection (the fiber neighbour is a copy of
+   [v]) falls out of the representation. *)
+
 let initial machine g =
+  let { Ec.row; colour; _ } = Ec.csr g in
   Array.init (Ec.n g) (fun v ->
-      let colours = List.map Ec.dart_colour (Ec.darts g v) in
-      machine.init ~degree:(List.length colours) ~colours)
+      let lo = row.(v) and hi = row.(v + 1) in
+      let colours = List.init (hi - lo) (fun i -> colour.(lo + i)) in
+      machine.init ~degree:(hi - lo) ~colours)
 
 let step machine g states =
+  let { Ec.row; colour; other; _ } = Ec.csr g in
   let inbox v =
-    List.map
-      (fun dart ->
-        match dart with
-        | Ec.To_neighbour { neighbour; colour; _ } ->
-          (colour, machine.send states.(neighbour) ~colour)
-        | Ec.Into_loop { colour; _ } ->
-          (* Loop reflection: the fiber neighbour is a copy of [v]. *)
-          (colour, machine.send states.(v) ~colour))
-      (Ec.darts g v)
+    let hi = row.(v + 1) in
+    let rec build d =
+      if d >= hi then []
+      else
+        let c = colour.(d) in
+        (c, machine.send states.(other.(d)) ~colour:c) :: build (d + 1)
+    in
+    build row.(v)
   in
   Array.mapi
     (fun v s -> if machine.halted s then s else machine.recv s (inbox v))

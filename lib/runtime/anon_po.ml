@@ -9,31 +9,36 @@ type ('state, 'msg) machine = {
   halted : 'state -> bool;
 }
 
-let key_of_dart = function
-  | Po.Out { colour; _ } | Po.Loop_out { colour; _ } -> { out = true; colour }
-  | Po.In { colour; _ } | Po.Loop_in { colour; _ } -> { out = false; colour }
+(* Both the initial scan and the round loop iterate the graph's flat CSR
+   dart view. [other.(d)] is the node itself for loop darts, so
+   reflection across a directed loop (an Out message received on the
+   node's own In dart and vice versa) is just "peer replies on the
+   opposite direction". *)
 
 let initial machine g =
+  let { Po.row; colour; dir; _ } = Po.csr g in
   Array.init (Po.n g) (fun v ->
-      machine.init ~darts:(List.map key_of_dart (Po.darts g v)))
+      let lo = row.(v) and hi = row.(v + 1) in
+      let darts =
+        List.init (hi - lo) (fun i ->
+            { out = dir.(lo + i) = 0; colour = colour.(lo + i) })
+      in
+      machine.init ~darts)
 
 let step machine g states =
+  let { Po.row; colour; dir; other; _ } = Po.csr g in
   let inbox v =
-    List.map
-      (fun dart ->
-        let key = key_of_dart dart in
-        match dart with
-        | Po.Out { neighbour; colour; _ } ->
-          (* The head sends toward the tail on its In dart. *)
-          (key, machine.send states.(neighbour) { out = false; colour })
-        | Po.In { neighbour; colour; _ } ->
-          (key, machine.send states.(neighbour) { out = true; colour })
-        | Po.Loop_out { colour; _ } ->
-          (* Reflection across the directed loop: our In-side message. *)
-          (key, machine.send states.(v) { out = false; colour })
-        | Po.Loop_in { colour; _ } ->
-          (key, machine.send states.(v) { out = true; colour }))
-      (Po.darts g v)
+    let hi = row.(v + 1) in
+    let rec build d =
+      if d >= hi then []
+      else
+        let c = colour.(d) in
+        let out = dir.(d) = 0 in
+        (* The peer sends on its dart of the opposite direction. *)
+        ({ out; colour = c }, machine.send states.(other.(d)) { out = not out; colour = c })
+        :: build (d + 1)
+    in
+    build row.(v)
   in
   Array.mapi
     (fun v s -> if machine.halted s then s else machine.recv s (inbox v))

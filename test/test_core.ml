@@ -127,6 +127,75 @@ let boundary_is_linear () =
       Alcotest.(check int) (Printf.sprintf "r=%d" r) expected level)
     (LB.boundary ~delta ~truncate_max:8 `Greedy)
 
+(* ---- memoised frontier scans ---- *)
+
+let cache_shares_certificates () =
+  let delta = 6 in
+  let cache = LB.build_cache ~delta Packing.greedy_algorithm in
+  (* Replaying the base algorithm returns the recorded outcome itself:
+     the certificate list — and the (G_i, H_i) pairs inside — are
+     physically shared, not rebuilt. *)
+  let replayed = LB.cached_run cache Packing.greedy_algorithm in
+  Alcotest.(check bool) "outcome physically shared" true
+    (replayed == LB.cache_outcome cache);
+  (match replayed with
+  | LB.Certified certs ->
+    let base_certs = certs_of (LB.cache_outcome cache) in
+    List.iter2
+      (fun (x : LB.certificate) (y : LB.certificate) ->
+        Alcotest.(check bool) "G_i shared" true (x.g_graph == y.g_graph);
+        Alcotest.(check bool) "H_i shared" true (x.h_graph == y.h_graph))
+      certs base_certs
+  | LB.Refuted _ -> Alcotest.fail "expected certification");
+  (* A refuted truncation shares its certificate prefix with the cache. *)
+  match LB.cached_run cache (Packing.truncated `Greedy 4) with
+  | LB.Certified _ -> Alcotest.fail "truncation certified"
+  | LB.Refuted (prefix, f) ->
+    let base_certs = certs_of (LB.cache_outcome cache) in
+    Alcotest.(check int) "prefix stops at failure" f.LB.fail_level
+      (List.length prefix);
+    List.iteri
+      (fun i (c : LB.certificate) ->
+        Alcotest.(check bool) "prefix certificate shared" true
+          (c == List.nth base_certs i))
+      prefix
+
+let cached_frontier_matches_full_runs () =
+  (* Δ = 2..6: for every truncation r, the cached replay and a fresh
+     full adversary run reach the same verdict and the same max level. *)
+  List.iter
+    (fun delta ->
+      let cache =
+        LB.build_cache ~check_views:false ~delta Packing.greedy_algorithm
+      in
+      for r = 0 to delta + 1 do
+        let algo = Packing.truncated `Greedy r in
+        let cached = LB.cached_run cache algo in
+        let full = LB.run ~check_views:false ~delta algo in
+        Alcotest.(check int)
+          (Printf.sprintf "delta=%d r=%d max level" delta r)
+          (LB.max_level full) (LB.max_level cached);
+        Alcotest.(check bool)
+          (Printf.sprintf "delta=%d r=%d same verdict" delta r)
+          (match full with LB.Certified _ -> true | LB.Refuted _ -> false)
+          (match cached with LB.Certified _ -> true | LB.Refuted _ -> false)
+      done)
+    [ 2; 3; 4; 5; 6 ]
+
+let pool_map_is_deterministic () =
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int)) "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Ld_core.Pool.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "mapi indices" (List.init 10 (fun i -> 2 * i))
+    (Ld_core.Pool.mapi ~domains:3 (fun i x -> i + x) (List.init 10 Fun.id));
+  Alcotest.check_raises "earliest failure re-raised" (Failure "boom3")
+    (fun () ->
+      ignore
+        (Ld_core.Pool.map ~domains:3
+           (fun x -> if x >= 3 then failwith (Printf.sprintf "boom%d" x) else x)
+           xs))
+
 let non_lift_invariant_rejected () =
   (* An "algorithm" that breaks symmetry it cannot see (uses node ids)
      must be caught by the lift-invariance sanity check. *)
@@ -392,6 +461,15 @@ let () =
           Alcotest.test_case "greedy matching certified (cf. [13])" `Quick
             adversary_certifies_greedy_matching;
           Alcotest.test_case "boundary linear in r" `Quick boundary_is_linear;
+        ] );
+      ( "memoisation",
+        [
+          Alcotest.test_case "cache shares certificates" `Quick
+            cache_shares_certificates;
+          Alcotest.test_case "cached frontier = full runs" `Quick
+            cached_frontier_matches_full_runs;
+          Alcotest.test_case "pool map deterministic" `Quick
+            pool_map_is_deterministic;
         ] );
       ( "scale",
         [

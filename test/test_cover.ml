@@ -51,6 +51,24 @@ let refinement_matches_views =
       done;
       !ok)
 
+(* The optimised flat-array refinement must agree with the list-based
+   reference implementation label-for-label (not merely up to partition
+   renaming): both intern descriptors by first occurrence in node
+   order, so the histories are exactly equal arrays. *)
+let flat_refinement_matches_reference =
+  QCheck.Test.make ~count:60
+    ~name:"flat CSR refinement = list-based reference (exact labels, EC and PO)"
+    (QCheck.pair (QCheck.int_range 2 9) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      let g = random_loopy_ec ~seed n in
+      let rounds = n + 2 in
+      let fast = Refinement.refine_ec g ~rounds in
+      let slow = Refinement.refine_ec ~reference:true g ~rounds in
+      let p = Ld_models.Po.of_ec g in
+      let pfast = Refinement.refine_po p ~rounds in
+      let pslow = Refinement.refine_po ~reference:true p ~rounds in
+      fast = slow && pfast = pslow)
+
 let first_distinguishing_radius_works () =
   (* On a path with a 2-colouring, the two endpoints look alike at
      radius 0 and 1 but not deeper (one sees colour 1 first, the other
@@ -278,6 +296,7 @@ let () =
           Alcotest.test_case "first distinguishing radius" `Quick
             first_distinguishing_radius_works;
           QCheck_alcotest.to_alcotest norris_stabilisation;
+          QCheck_alcotest.to_alcotest flat_refinement_matches_reference;
           Alcotest.test_case "po orientation" `Quick po_refinement_sees_orientation;
         ] );
       ( "lifts",
