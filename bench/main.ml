@@ -7,6 +7,9 @@
 
 module LB = Ld_core.Lower_bound
 module Pool = Ld_core.Pool
+module Obs = Ld_obs.Obs
+module Trace = Ld_obs.Trace
+module Summary = Ld_obs.Summary
 module Theorem = Ld_core.Theorem
 module Sim = Ld_core.Simulate
 module Packing = Ld_matching.Packing
@@ -29,16 +32,11 @@ let section title =
 
 let row fmt = Printf.printf fmt
 
-let now_ms () = Unix.gettimeofday () *. 1000.
-
-(* Section wall-clock times, for the JSON dump. *)
-let section_times : (string * float) list ref = ref []
-
-let timed name f =
-  let t0 = now_ms () in
-  let v = f () in
-  section_times := (name, now_ms () -. t0) :: !section_times;
-  v
+(* One clock for everything: sections are [bench.section.*] spans on the
+   Ld_obs monotonic clock, so the JSON section timings and the Chrome
+   trace agree by construction. *)
+let now_ms = Obs.now_ms
+let timed name f = Obs.with_span ("bench.section." ^ name) f
 
 (* ------------------------------------------------------------------ *)
 (* THM1: the lower-bound frontier. For each Δ, the adversary certifies
@@ -445,10 +443,35 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Run metadata folded into the JSON artefact so a stored
+   BENCH_THM1.json identifies the code and machine shape it came from. *)
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some (String.trim line)
+    | _ -> None
+    | exception _ -> None)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let emit_json ~path ~rows ~timings =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n  \"bench\": \"linear-delta-local THM1 frontier\",\n";
+  add "  \"meta\": {\n";
+  add
+    (Printf.sprintf "    \"git_commit\": \"%s\",\n"
+       (json_escape (Option.value ~default:"unknown" (git_commit ()))));
+  add (Printf.sprintf "    \"domains\": %d,\n" (Pool.default_domains ()));
+  add (Printf.sprintf "    \"timestamp\": \"%s\"\n" (iso8601 (Unix.time ())));
+  add "  },\n";
   add "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -460,13 +483,21 @@ let emit_json ~path ~rows ~timings =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   add "  ],\n  \"sections_ms\": {\n";
-  let sections = List.rev !section_times in
+  let sections = Summary.section_ms ~prefix:"bench.section." in
   List.iteri
     (fun i (name, ms) ->
       add
         (Printf.sprintf "    \"%s\": %.3f%s\n" (json_escape name) ms
            (if i = List.length sections - 1 then "" else ",")))
     sections;
+  add "  },\n  \"metrics\": {\n";
+  let metrics = Obs.counters () in
+  List.iteri
+    (fun i (name, v) ->
+      add
+        (Printf.sprintf "    \"%s\": %d%s\n" (json_escape name) v
+           (if i = List.length metrics - 1 then "" else ",")))
+    metrics;
   add "  },\n  \"timing_ns_per_run\": [\n";
   List.iteri
     (fun i (name, t) ->
@@ -480,35 +511,66 @@ let emit_json ~path ~rows ~timings =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* Flag parsing kept dependency-free: --quick, --trace FILE (Chrome
+   trace-event export), --json FILE (override/enable the JSON artefact;
+   the full pass defaults to BENCH_THM1.json, --quick to none). *)
+let flag_value name =
+  let rec scan i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
   let quick = Array.mem "--quick" Sys.argv in
+  let trace_path = flag_value "--trace" in
+  let json_path = flag_value "--json" in
+  Obs.enable ();
   Printf.printf
     "linear-delta-local benchmark harness\n\
      reproduces: Goos, Hirvonen, Suomela — Linear-in-Delta Lower Bounds in \
      the LOCAL Model (PODC 2014)\n";
-  if quick then begin
-    (* Smoke pass for CI: the THM1 fan-out (pool + memo cache) and the
-       COST table on small deltas; no Bechamel, no JSON artefact. *)
-    let rows = timed "thm1" (thm1 ~deltas:[ 2; 3; 4; 5; 6 ] ~mm_deltas:[ 4 ]) in
-    timed "cost" (cost ~rows ~cost_delta:6);
-    Printf.printf "\nall benchmark assertions passed.\n"
-  end
-  else begin
-    let rows =
-      timed "thm1"
-        (thm1 ~deltas:[ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ]
-           ~mm_deltas:[ 4; 8; 12 ])
-    in
-    timed "upper" upper;
-    timed "cost" (cost ~rows ~cost_delta:12);
-    timed "approx" approx;
-    timed "vc" vc;
-    timed "base" base;
-    timed "sim" sim;
-    timed "contrast" contrast;
-    timed "locality" (locality ~rows);
-    let timings = timed "timing" bechamel_pass in
-    emit_json ~path:"BENCH_THM1.json" ~rows ~timings;
-    Printf.printf "\nwrote BENCH_THM1.json (%d thm1 rows)\n" (List.length rows);
-    Printf.printf "\nall benchmark assertions passed.\n"
-  end
+  let rows, timings =
+    if quick then begin
+      (* Smoke pass for CI: the THM1 fan-out (pool + memo cache) and the
+         COST table on small deltas; no Bechamel. *)
+      let rows = timed "thm1" (thm1 ~deltas:[ 2; 3; 4; 5; 6 ] ~mm_deltas:[ 4 ]) in
+      timed "cost" (cost ~rows ~cost_delta:6);
+      (rows, [])
+    end
+    else begin
+      let rows =
+        timed "thm1"
+          (thm1 ~deltas:[ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ]
+             ~mm_deltas:[ 4; 8; 12 ])
+      in
+      timed "upper" upper;
+      timed "cost" (cost ~rows ~cost_delta:12);
+      timed "approx" approx;
+      timed "vc" vc;
+      timed "base" base;
+      timed "sim" sim;
+      timed "contrast" contrast;
+      timed "locality" (locality ~rows);
+      let timings = timed "timing" bechamel_pass in
+      (rows, timings)
+    end
+  in
+  let json_target =
+    match json_path with
+    | Some _ as p -> p
+    | None -> if quick then None else Some "BENCH_THM1.json"
+  in
+  (match json_target with
+  | Some path ->
+    emit_json ~path ~rows ~timings;
+    Printf.printf "\nwrote %s (%d thm1 rows)\n" path (List.length rows)
+  | None -> ());
+  (match trace_path with
+  | Some path ->
+    Trace.write ~path;
+    Printf.printf "wrote Chrome trace to %s (load in Perfetto; tid = domain)\n"
+      path
+  | None -> ());
+  Printf.printf "\nall benchmark assertions passed.\n"

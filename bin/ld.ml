@@ -5,7 +5,11 @@
      ld pack       run a distributed maximal edge packing
      ld match      run a maximal matching baseline
      ld factor     compute a factor graph and loopiness
-     ld order      sort tree addresses by the Appendix A canonical order *)
+     ld order      sort tree addresses by the Appendix A canonical order
+     ld stats      run the adversary and print the observability summary
+
+   Every subcommand honours the global --trace FILE (Chrome trace-event
+   export of the run, tid = domain) and -v/--verbosity (Logs). *)
 
 open Cmdliner
 
@@ -18,6 +22,42 @@ module Fm = Ld_fm.Fm
 module Q = Ld_arith.Q
 module Colouring = Ld_models.Edge_colouring
 module Id = Ld_models.Labelled.Id
+module Obs = Ld_obs.Obs
+
+(* ---- global observability/logging plumbing ----
+
+   [common] carries the --trace target through every subcommand; the
+   sink is enabled before the command body runs and the trace file is
+   written after it returns (also on nonzero exits). *)
+
+let setup_common trace level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level;
+  (match trace with
+  | Some _ -> Obs.enable ()
+  | None -> ());
+  trace
+
+let common_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~docs:Manpage.s_common_options
+          ~doc:
+            "Record spans and counters and write a Chrome trace-event JSON \
+             file to $(docv) (load it in Perfetto; tid = OCaml domain id).")
+  in
+  Term.(const setup_common $ trace_arg $ Logs_cli.level ())
+
+let with_common trace f =
+  let code = f () in
+  (match trace with
+  | Some path ->
+    Ld_obs.Trace.write ~path;
+    Logs.app (fun m -> m "wrote Chrome trace to %s" path)
+  | None -> ());
+  code
 
 let family_conv =
   let parse s =
@@ -54,7 +94,8 @@ let truncate_arg =
 
 (* ---- adversary ---- *)
 
-let adversary delta algo truncate verbose =
+let adversary common delta algo truncate verbose =
+  with_common common @@ fun () ->
   let algorithm =
     match truncate with
     | Some r -> Packing.truncated algo r
@@ -63,6 +104,9 @@ let adversary delta algo truncate verbose =
       | `Greedy -> Packing.greedy_algorithm
       | `Proposal -> Packing.proposal_algorithm)
   in
+  Logs.info (fun m ->
+      m "running Section 4 adversary: delta=%d vs %s" delta
+        algorithm.Packing.name);
   Printf.printf "adversary: delta=%d vs %s\n" delta algorithm.Packing.name;
   match LB.run ~delta algorithm with
   | LB.Certified certs ->
@@ -78,17 +122,21 @@ let adversary delta algo truncate verbose =
     0
 
 let adversary_cmd =
+  (* [-v] now belongs to the global Logs verbosity. *)
   let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every certificate.")
+    Arg.(value & flag & info [ "certificates" ] ~doc:"Print every certificate.")
   in
   Cmd.v
     (Cmd.info "adversary"
        ~doc:"Run the Section 4 unfold-and-mix lower-bound adversary.")
-    Term.(const adversary $ delta_arg $ algo_arg $ truncate_arg $ verbose)
+    Term.(
+      const adversary $ common_term $ delta_arg $ algo_arg $ truncate_arg
+      $ verbose)
 
 (* ---- pack ---- *)
 
-let pack family n delta seed algo truncate =
+let pack common family n delta seed algo truncate =
+  with_common common @@ fun () ->
   let g = make_graph family ~seed ~n ~delta in
   let ec = Colouring.ec_of_simple g in
   Printf.printf "%s: n=%d m=%d delta=%d, %d colours\n" family (G.n g) (G.m g)
@@ -113,12 +161,13 @@ let pack_cmd =
   Cmd.v
     (Cmd.info "pack" ~doc:"Run a distributed maximal edge packing.")
     Term.(
-      const pack $ family_arg $ n_arg $ delta_arg $ seed_arg $ algo_arg
-      $ truncate_arg)
+      const pack $ common_term $ family_arg $ n_arg $ delta_arg $ seed_arg
+      $ algo_arg $ truncate_arg)
 
 (* ---- match ---- *)
 
-let match_ family n delta seed which =
+let match_ common family n delta seed which =
+  with_common common @@ fun () ->
   let g = make_graph family ~seed ~n ~delta in
   Printf.printf "%s: n=%d m=%d delta=%d\n" family (G.n g) (G.m g) (G.max_degree g);
   (match which with
@@ -154,11 +203,14 @@ let match_cmd =
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Run a maximal matching baseline.")
-    Term.(const match_ $ family_arg $ n_arg $ delta_arg $ seed_arg $ which)
+    Term.(
+      const match_ $ common_term $ family_arg $ n_arg $ delta_arg $ seed_arg
+      $ which)
 
 (* ---- factor ---- *)
 
-let factor family n delta seed =
+let factor common family n delta seed =
+  with_common common @@ fun () ->
   let g = make_graph family ~seed ~n ~delta in
   let ec = Colouring.ec_of_simple g in
   let fg, _ = Ld_cover.Factor.factor ec in
@@ -169,11 +221,12 @@ let factor family n delta seed =
 let factor_cmd =
   Cmd.v
     (Cmd.info "factor" ~doc:"Compute the factor graph and loopiness.")
-    Term.(const factor $ family_arg $ n_arg $ delta_arg $ seed_arg)
+    Term.(const factor $ common_term $ family_arg $ n_arg $ delta_arg $ seed_arg)
 
 (* ---- order ---- *)
 
-let order_demo words =
+let order_demo common words =
+  with_common common @@ fun () ->
   let module O = Ld_order.Tree_order in
   let parse w =
     (* e.g. "+1-2+3": alternating sign and colour *)
@@ -212,11 +265,12 @@ let order_cmd =
   Cmd.v
     (Cmd.info "order"
        ~doc:"Sort tree addresses by the Appendix A canonical order.")
-    Term.(const order_demo $ words)
+    Term.(const order_demo $ common_term $ words)
 
 (* ---- report ---- *)
 
-let report delta algo truncate output =
+let report common delta algo truncate output =
+  with_common common @@ fun () ->
   let algorithm =
     match truncate with
     | Some r -> Packing.truncated algo r
@@ -248,11 +302,13 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Render a full adversary run as a Markdown report.")
-    Term.(const report $ delta_arg $ algo_arg $ truncate_arg $ output)
+    Term.(
+      const report $ common_term $ delta_arg $ algo_arg $ truncate_arg $ output)
 
 (* ---- dot ---- *)
 
-let dot family n delta seed kind =
+let dot common family n delta seed kind =
+  with_common common @@ fun () ->
   let g = make_graph family ~seed ~n ~delta in
   (match kind with
   | `Simple -> print_string (Ld_models.Dot.simple g)
@@ -276,11 +332,13 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a generated graph.")
-    Term.(const dot $ family_arg $ n_arg $ delta_arg $ seed_arg $ kind)
+    Term.(
+      const dot $ common_term $ family_arg $ n_arg $ delta_arg $ seed_arg $ kind)
 
 (* ---- certify / verify ---- *)
 
-let certify delta algo output =
+let certify common delta algo output =
+  with_common common @@ fun () ->
   let algorithm =
     match algo with
     | `Greedy -> Packing.greedy_algorithm
@@ -306,9 +364,10 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Run the adversary and export the certificate chain to a file.")
-    Term.(const certify $ delta_arg $ algo_arg $ output)
+    Term.(const certify $ common_term $ delta_arg $ algo_arg $ output)
 
-let verify delta algo input =
+let verify common delta algo input =
+  with_common common @@ fun () ->
   let algorithm =
     match algo with
     | Some `Greedy -> Some Packing.greedy_algorithm
@@ -348,7 +407,68 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Independently re-verify a certificate file from scratch.")
-    Term.(const verify $ delta_arg $ algo_opt $ input)
+    Term.(const verify $ common_term $ delta_arg $ algo_opt $ input)
+
+(* ---- stats ---- *)
+
+let stats common delta algo frontier tree =
+  (* The summary needs the sink on even without --trace. *)
+  Obs.enable ();
+  with_common common @@ fun () ->
+  let base_algo =
+    match algo with
+    | `Greedy -> Packing.greedy_algorithm
+    | `Proposal -> Packing.proposal_algorithm
+  in
+  Logs.info (fun m ->
+      m "stats: delta=%d algo=%s frontier=%b" delta base_algo.Packing.name
+        frontier);
+  let cache = LB.build_cache ~delta base_algo in
+  (match LB.cache_outcome cache with
+  | LB.Certified certs ->
+    Printf.printf "adversary: delta=%d vs %s — CERTIFIED %d levels\n" delta
+      base_algo.Packing.name (List.length certs)
+  | LB.Refuted (certs, f) ->
+    Printf.printf "adversary: delta=%d vs %s — REFUTED at level %d (%d certified)\n"
+      delta base_algo.Packing.name f.LB.fail_level (List.length certs));
+  if frontier then begin
+    (* Replay the memoised construction against every truncation, as the
+       bench's frontier scan does — the memo counters below show the
+       replay hit/divergence behaviour. *)
+    let rec scan r =
+      if r > (2 * delta) + 2 then None
+      else
+        match LB.cached_run cache (Packing.truncated `Greedy r) with
+        | LB.Certified _ -> Some r
+        | LB.Refuted _ -> scan (r + 1)
+    in
+    match scan 0 with
+    | Some r -> Printf.printf "frontier: smallest surviving truncation r* = %d\n" r
+    | None -> Printf.printf "frontier: no truncation survives within 2*delta+2\n"
+  end;
+  Printf.printf "\n";
+  Format.printf "%a@." Ld_obs.Summary.pp ();
+  if tree then Format.printf "%a@." Ld_obs.Summary.pp_tree ();
+  0
+
+let stats_cmd =
+  let frontier =
+    Arg.(
+      value & opt bool true
+      & info [ "frontier" ]
+          ~doc:"Also replay the memoised frontier scan (exercises the cache).")
+  in
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ] ~doc:"Print the span tree of the main domain as well.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the adversary with the observability sink enabled and print \
+          the span/counter summary table.")
+    Term.(const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree)
 
 let main_cmd =
   Cmd.group
@@ -357,6 +477,6 @@ let main_cmd =
          "Linear-in-Delta lower bounds in the LOCAL model — executable \
           reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
     [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
-      certify_cmd; verify_cmd ]
+      certify_cmd; verify_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

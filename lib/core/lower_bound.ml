@@ -4,6 +4,18 @@ module Q = Ld_arith.Q
 module Lift = Ld_cover.Lift
 module Refinement = Ld_cover.Refinement
 module Propagation = Ld_fm.Propagation
+module Obs = Ld_obs.Obs
+
+(* Adversary-level metrics: probes (algorithm invocations on adversary
+   graphs), certificate/refutation outcomes, and the fate of memoised
+   frontier replays — hits replay the cached construction, refutations
+   stop a replay early, divergences fall back to a full run. *)
+let c_probes = Obs.Counter.make "core.lb.probes"
+let c_certificates = Obs.Counter.make "core.lb.certificates"
+let c_refutations = Obs.Counter.make "core.lb.refutations"
+let c_memo_hits = Obs.Counter.make "core.lb.memo_replay_hits"
+let c_memo_refuted = Obs.Counter.make "core.lb.memo_replay_refuted"
+let c_memo_diverged = Obs.Counter.make "core.lb.memo_diverged"
 
 type algorithm = Ld_matching.Packing.algorithm = {
   name : string;
@@ -90,7 +102,8 @@ let check_feasible ~level graph output =
 type probe = { probe_level : int; probe_graph : Ec.t; probe_base : Fm.t }
 
 let run_checked ?record ~level algo graph =
-  let y = algo.run graph in
+  Obs.Counter.incr c_probes;
+  let y = Obs.with_span "core.lb.probe" (fun () -> algo.run graph) in
   (match record with
   | Some r -> r := { probe_level = level; probe_graph = graph; probe_base = y } :: !r
   | None -> ());
@@ -99,6 +112,7 @@ let run_checked ?record ~level algo graph =
 
 (* Base case (Fig. 5). *)
 let base_case ?record ~delta algo =
+  Obs.with_span "core.lb.base_case" @@ fun () ->
   let g0 =
     Ec.create ~n:1 ~edges:[] ~loops:(List.init delta (fun c -> (0, c + 1)))
   in
@@ -219,11 +233,15 @@ let is_tree_plus_loops g =
 (* One unfold-and-mix step (Fig. 6 + Fig. 7). *)
 let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
   let level = state.i + 1 in
+  Obs.with_span ~args:[ ("level", string_of_int level) ] "core.lb.level"
+  @@ fun () ->
   let { gr; hr; g; h; c; e; f; y_g; y_h; _ } = state in
-  let cov_gg = Lift.unfold_loop gr ~loop_id:e in
-  let cov_hh = Lift.unfold_loop hr ~loop_id:f in
-  let gg = cov_gg.total and hh = cov_hh.total in
-  let gh = mix state in
+  let cov_gg, cov_hh =
+    Obs.with_span "core.lb.unfold" (fun () ->
+        (Lift.unfold_loop gr ~loop_id:e, Lift.unfold_loop hr ~loop_id:f))
+  in
+  let gg = cov_gg.Lift.total and hh = cov_hh.Lift.total in
+  let gh = Obs.with_span "core.lb.mix" (fun () -> mix state) in
   (* P2 and P3 for the freshly built graphs. *)
   List.iter
     (fun x ->
@@ -260,7 +278,10 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
     | None -> assert false (* the crossing edge has colour c at start *)
   in
   let g_star, loop_target =
-    match Propagation.walk ~y:y_target ~y':y' ~start ~first with
+    match
+      Obs.with_span "core.lb.propagation" (fun () ->
+          Propagation.walk ~y:y_target ~y':y' ~start ~first)
+    with
     | Propagation.Loop_found { node; loop_id; _ } -> (node, loop_id)
     | Propagation.Stuck { node; _ } ->
       (* Impossible once feasibility was checked: every node saturated
@@ -281,7 +302,8 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
   assert (not (Q.equal wg wh));
   let views_checked =
     check_views
-    && Refinement.equivalent_radius target g_star gh g_star_gh ~radius:level
+    && Obs.with_span "core.lb.views" (fun () ->
+           Refinement.equivalent_radius target g_star gh g_star_gh ~radius:level)
   in
   if check_views && not views_checked then
     failwith "P1 violated: radius-level views are not isomorphic (engine bug)";
@@ -317,19 +339,31 @@ let certificate_of_state ~views_checked s =
 
 let run_recording ?record ~check_views ~check_lift_invariance ~delta algo =
   if delta < 2 then invalid_arg "Lower_bound.run: delta must be >= 2";
+  Obs.with_span
+    ~args:[ ("delta", string_of_int delta); ("algorithm", algo.name) ]
+    "core.lb.run"
+  @@ fun () ->
   let certificates = ref [] in
-  try
-    let state = ref (base_case ?record ~delta algo) in
-    certificates := [ certificate_of_state ~views_checked:check_views !state ];
-    while !state.i < delta - 2 do
-      let next, views_checked =
-        step ?record ~delta ~algo ~check_views ~check_lift_invariance !state
-      in
-      state := next;
-      certificates := certificate_of_state ~views_checked next :: !certificates
-    done;
-    Certified (List.rev !certificates)
-  with Refutation failure -> Refuted (List.rev !certificates, failure)
+  let outcome =
+    try
+      let state = ref (base_case ?record ~delta algo) in
+      certificates := [ certificate_of_state ~views_checked:check_views !state ];
+      while !state.i < delta - 2 do
+        let next, views_checked =
+          step ?record ~delta ~algo ~check_views ~check_lift_invariance !state
+        in
+        state := next;
+        certificates := certificate_of_state ~views_checked next :: !certificates
+      done;
+      Certified (List.rev !certificates)
+    with Refutation failure -> Refuted (List.rev !certificates, failure)
+  in
+  (match outcome with
+  | Certified certs -> Obs.Counter.add c_certificates (List.length certs)
+  | Refuted (certs, _) ->
+    Obs.Counter.add c_certificates (List.length certs);
+    Obs.Counter.incr c_refutations);
+  outcome
 
 let run ?(check_views = true) ?(check_lift_invariance = true) ~delta algo =
   run_recording ~check_views ~check_lift_invariance ~delta algo
@@ -364,6 +398,8 @@ type cache = {
 }
 
 let build_cache ?(check_views = true) ~delta algo =
+  Obs.with_span ~args:[ ("delta", string_of_int delta) ] "core.lb.build_cache"
+  @@ fun () ->
   let record = ref [] in
   let outcome =
     run_recording ~record ~check_views ~check_lift_invariance:true ~delta algo
@@ -381,6 +417,7 @@ exception Diverged
 
 let cached_run cache algo =
   let replay () =
+    Obs.with_span "core.lb.memo_replay" @@ fun () ->
     List.iter
       (fun p ->
         let y = algo.run p.probe_graph in
@@ -390,8 +427,11 @@ let cached_run cache algo =
     cache.cache_outcome
   in
   match replay () with
-  | outcome -> outcome
+  | outcome ->
+    Obs.Counter.incr c_memo_hits;
+    outcome
   | exception Refutation failure ->
+    Obs.Counter.incr c_memo_refuted;
     let certs =
       match cache.cache_outcome with
       | Certified certs | Refuted (certs, _) -> certs
@@ -399,6 +439,7 @@ let cached_run cache algo =
     let prefix = List.filter (fun c -> c.level < failure.fail_level) certs in
     Refuted (prefix, failure)
   | exception Diverged ->
+    Obs.Counter.incr c_memo_diverged;
     run ~check_views:cache.cache_check_views ~delta:cache.cache_delta algo
 
 let boundary ~delta ~truncate_max base =

@@ -12,13 +12,24 @@
     [domains] domains pulling tasks from a shared queue.
 
     - [domains] defaults to the [LD_DOMAINS] environment variable if
-      set, else [min 8 (Domain.recommended_domain_count ())].
+      set, else [min 8 (Domain.recommended_domain_count ())]. A
+      malformed [LD_DOMAINS] value is reported on stderr (and falls
+      back to 1 domain) rather than silently ignored.
     - With one worker (or fewer tasks than two) no domain is spawned:
       the call degrades to plain [List.map f tasks].
     - If any task raises, the exception of the {e earliest} failed task
       (submission order) is re-raised after all domains joined — again
-      matching the sequential behaviour. *)
+      matching the sequential behaviour. The re-raise preserves the
+      worker domain's backtrace ([Printexc.raise_with_backtrace]).
+    - When the {!Ld_obs} sink is enabled, every task runs inside a
+      [core.pool.task] span and each worker domain a [core.pool.worker]
+      span, so a trace shows per-domain utilisation and the idle tail
+      ([core.pool.join]) directly. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** The worker-count [map] uses when [?domains] is omitted ([LD_DOMAINS]
+    or the hardware default) — exposed so callers can report it. *)
+val default_domains : unit -> int
 
 (** [mapi] is {!map} with the task's submission index. *)
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -1,7 +1,17 @@
 module Ec = Ld_models.Ec
 module Po = Ld_models.Po
+module Obs = Ld_obs.Obs
 
 type history = int array array
+
+(* Metrics of the flat path (DESIGN.md § Observability): rounds actually
+   computed vs skipped by the stabilisation early-exit, and the interning
+   behaviour that dominates a round's cost. *)
+let c_rounds = Obs.Counter.make "cover.refine.rounds"
+let c_rounds_skipped = Obs.Counter.make "cover.refine.rounds_skipped"
+let c_descriptors = Obs.Counter.make "cover.refine.descriptors_sorted"
+let c_intern_hits = Obs.Counter.make "cover.refine.intern_hits"
+let c_intern_misses = Obs.Counter.make "cover.refine.intern_misses"
 
 (* ------------------------------------------------------------------ *)
 (* Reference path: generic refinement over a dart structure given as
@@ -132,13 +142,16 @@ let flat_round { fn = n; frow = row; fkey = key; fother = other } ~stride ~codes
     done
   done;
   let intern = Intern.create (2 * n) in
+  let hits = ref 0 in
   for v = 0 to n - 1 do
     let lo = row.(v) and len = row.(v + 1) - row.(v) in
     let descriptor = Array.make (len + 1) prev.(v) in
     Array.blit codes lo descriptor 1 len;
     let label =
       match Intern.find_opt intern descriptor with
-      | Some l -> l
+      | Some l ->
+        incr hits;
+        l
       | None ->
         let l = Intern.length intern in
         Intern.add intern descriptor l;
@@ -146,6 +159,10 @@ let flat_round { fn = n; frow = row; fkey = key; fother = other } ~stride ~codes
     in
     next.(v) <- label
   done;
+  Obs.Counter.incr c_rounds;
+  Obs.Counter.add c_descriptors n;
+  Obs.Counter.add c_intern_hits !hits;
+  Obs.Counter.add c_intern_misses (n - !hits);
   Intern.length intern
 
 let refine_flat fl ~rounds =
@@ -158,12 +175,14 @@ let refine_flat fl ~rounds =
     let classes = ref 1 in
     let stable = ref false in
     for r = 1 to rounds do
-      if !stable then
+      if !stable then begin
         (* Refinement only ever splits classes, and labels are assigned
            densely by first occurrence, so once the class count stops
            growing every later round relabels identically: share the
            stabilised array instead of recomputing it. *)
+        Obs.Counter.incr c_rounds_skipped;
         history.(r) <- history.(r - 1)
+      end
       else begin
         let next = Array.make n 0 in
         let k = flat_round fl ~stride ~codes history.(r - 1) next in
@@ -177,17 +196,20 @@ let refine_flat fl ~rounds =
 let refine_ec ?(reference = false) g ~rounds =
   if reference then
     refine_generic_reference ~n:(Ec.n g) ~darts:(ec_darts g) ~rounds
-  else refine_flat (flat_ec g) ~rounds
+  else
+    Obs.with_span "cover.refine.ec" (fun () -> refine_flat (flat_ec g) ~rounds)
 
 let refine_po ?(reference = false) g ~rounds =
   if reference then
     refine_generic_reference ~n:(Po.n g) ~darts:(po_darts g) ~rounds
-  else refine_flat (flat_po g) ~rounds
+  else
+    Obs.with_span "cover.refine.po" (fun () -> refine_flat (flat_po g) ~rounds)
 
 let equivalent_radius g u h v ~radius =
-  let union = Ec.disjoint_union g h in
-  let history = refine_ec union ~rounds:radius in
-  history.(radius).(u) = history.(radius).(Ec.n g + v)
+  Obs.with_span "cover.refine.equivalent_radius" (fun () ->
+      let union = Ec.disjoint_union g h in
+      let history = refine_ec union ~rounds:radius in
+      history.(radius).(u) = history.(radius).(Ec.n g + v))
 
 let first_distinguishing_radius g u h v ~max_radius =
   let union = Ec.disjoint_union g h in
@@ -236,5 +258,10 @@ let densify labels =
         d)
     labels
 
-let stable_partition_ec g = densify (stable_flat (flat_ec g))
-let stable_partition_po g = densify (stable_flat (flat_po g))
+let stable_partition_ec g =
+  Obs.with_span "cover.refine.stable_partition" (fun () ->
+      densify (stable_flat (flat_ec g)))
+
+let stable_partition_po g =
+  Obs.with_span "cover.refine.stable_partition" (fun () ->
+      densify (stable_flat (flat_po g)))

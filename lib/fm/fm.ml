@@ -1,5 +1,12 @@
 module Ec = Ld_models.Ec
 module Q = Ld_arith.Q
+module Obs = Ld_obs.Obs
+
+(* The adversary feasibility-checks every probe output; these make the
+   checker traffic (and any violations found) visible. *)
+let c_validity = Obs.Counter.make "fm.check.validity"
+let c_maximality = Obs.Counter.make "fm.check.maximality"
+let c_violations = Obs.Counter.make "fm.check.violations"
 
 type t = { graph : Ec.t; edge_w : Q.t array; loop_w : Q.t array }
 
@@ -68,6 +75,8 @@ type violation =
 let in_range w = Q.sign w >= 0 && Q.compare w Q.one <= 0
 
 let validity_violations y =
+  Obs.Counter.incr c_validity;
+  Obs.with_span "fm.check.validity" @@ fun () ->
   let acc = ref [] in
   Array.iteri
     (fun id w -> if not (in_range w) then acc := Weight_out_of_range (`Edge id) :: !acc)
@@ -79,9 +88,13 @@ let validity_violations y =
   for v = 0 to Ec.n y.graph - 1 do
     if Q.compare w.(v) Q.one > 0 then acc := Node_overloaded v :: !acc
   done;
-  List.rev !acc
+  let vs = List.rev !acc in
+  if vs <> [] then Obs.Counter.add c_violations (List.length vs);
+  vs
 
 let maximality_violations y =
+  Obs.Counter.incr c_maximality;
+  Obs.with_span "fm.check.maximality" @@ fun () ->
   let w = node_weights y in
   let sat v = Q.equal w.(v) Q.one in
   let acc = ref [] in
@@ -92,6 +105,7 @@ let maximality_violations y =
     let e = Ec.edge y.graph id in
     if not (sat e.u || sat e.v) then acc := Unsaturated_edge id :: !acc
   done;
+  if !acc <> [] then Obs.Counter.add c_violations (List.length !acc);
   !acc
 
 let is_fm y = validity_violations y = []

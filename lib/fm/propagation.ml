@@ -1,5 +1,10 @@
 module Ec = Ld_models.Ec
 module Q = Ld_arith.Q
+module Obs = Ld_obs.Obs
+
+let c_walks = Obs.Counter.make "fm.prop.walks"
+let c_steps = Obs.Counter.make "fm.prop.steps"
+let c_loops_found = Obs.Counter.make "fm.prop.loops_found"
 
 let differing_darts y y' v =
   if not (Ec.equal (Fm.graph y) (Fm.graph y')) then
@@ -32,6 +37,8 @@ type walk_outcome =
    The candidate scan iterates the graph's CSR dart view: a differing
    loop (in colour order) wins, else the first differing edge. *)
 let walk ~y ~y' ~start ~first =
+  Obs.Counter.incr c_walks;
+  Obs.with_span "fm.prop.walk" @@ fun () ->
   let graph = Fm.graph y in
   let { Ec.row; colour; code; _ } = Ec.csr graph in
   let code_differs c =
@@ -54,12 +61,14 @@ let walk ~y ~y' ~start ~first =
     if !best_loop >= 0 then begin
       let d = Ec.dart_at graph !best_loop in
       let loop_id = -code.(!best_loop) - 1 in
+      Obs.Counter.incr c_loops_found;
       Loop_found { node; loop_id; trace = List.rev ({ node; via = d } :: trace) }
     end
     else if !best_edge >= 0 then begin
       let d = Ec.dart_at graph !best_edge in
       match d with
       | Ec.To_neighbour { neighbour; colour; _ } ->
+        Obs.Counter.incr c_steps;
         go neighbour colour (depth + 1) ({ node; via = d } :: trace)
       | Ec.Into_loop _ -> assert false
     end

@@ -2,6 +2,7 @@ module Ec = Ld_models.Ec
 module Q = Ld_arith.Q
 module Fm = Ld_fm.Fm
 module Anon = Ld_runtime.Anon_ec
+module Obs = Ld_obs.Obs
 
 (* Shared extraction: both machines accumulate, per node, the weight
    assigned to each dart colour. The weight of an edge is read at either
@@ -63,6 +64,7 @@ let greedy_machine : (greedy_state, Q.t) Anon.machine =
 let greedy_rounds g = Ec.max_colour g
 
 let greedy_by_colour ?truncate g =
+  Obs.with_span "matching.packing.greedy" @@ fun () ->
   let rounds =
     match truncate with
     | None -> greedy_rounds g
@@ -144,6 +146,7 @@ let proposal_machine : (proposal_state, proposal_msg) Anon.machine =
   }
 
 let proposal ?truncate g =
+  Obs.with_span "matching.packing.proposal" @@ fun () ->
   let states, rounds =
     match truncate with
     | None ->

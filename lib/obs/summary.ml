@@ -1,0 +1,111 @@
+(* Counting per-tid events and `core.pool.task` spans gives the
+   utilisation picture (tasks per domain) without opening the trace. *)
+let per_domain () =
+  let by_tid : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.event) ->
+      let evs, tasks =
+        match Hashtbl.find_opt by_tid e.ev_tid with
+        | Some s -> s
+        | None ->
+          let s = (ref 0, ref 0) in
+          Hashtbl.add by_tid e.ev_tid s;
+          s
+      in
+      incr evs;
+      if e.ev_phase = Obs.B && e.ev_name = "core.pool.task" then incr tasks)
+    (Obs.events ());
+  Hashtbl.fold (fun tid (evs, tasks) acc -> (tid, !evs, !tasks) :: acc) by_tid []
+  |> List.sort compare
+
+let pp fmt () =
+  let spans = Obs.span_totals () in
+  if spans <> [] then begin
+    Format.fprintf fmt "@[<v>spans (execution order):@,";
+    Format.fprintf fmt "  %-34s %8s %12s %12s %10s@," "name" "count" "total ms"
+      "self ms" "mean us";
+    List.iter
+      (fun (name, (count, total, self)) ->
+        Format.fprintf fmt "  %-34s %8d %12.3f %12.3f %10.1f@," name count total
+          self
+          (1000. *. total /. float_of_int count))
+      spans;
+    Format.fprintf fmt "@]"
+  end;
+  (match per_domain () with
+  | [] | [ _ ] -> ()
+  | domains ->
+    Format.fprintf fmt "@[<v>domains:@,";
+    List.iter
+      (fun (tid, evs, tasks) ->
+        Format.fprintf fmt "  domain-%-3d %6d events %6d pool tasks@," tid evs
+          tasks)
+      domains;
+    Format.fprintf fmt "@]");
+  let nonzero = List.filter (fun (_, v) -> v <> 0) (Obs.counters ()) in
+  if nonzero <> [] then begin
+    Format.fprintf fmt "@[<v>counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-42s %12d@," name v)
+      nonzero;
+    Format.fprintf fmt "@]"
+  end
+
+(* Merge the main buffer's spans by path: one tree line per distinct
+   stack of names, in first-occurrence order. *)
+let pp_tree fmt () =
+  let events = Obs.events () in
+  match events with
+  | [] -> ()
+  | first :: _ ->
+    let main_tid = first.Obs.ev_tid in
+    let order : string list list ref = ref [] in
+    let totals : (string list, int ref * float ref) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    (* Paths are registered at span {e begin} so parents precede their
+       children in the printed order; durations accumulate at end. *)
+    let stack = ref [] in
+    List.iter
+      (fun (e : Obs.event) ->
+        if e.ev_tid = main_tid then
+          match e.ev_phase with
+          | Obs.B ->
+            let path =
+              List.rev (e.ev_name :: List.map (fun (n, _, _) -> n) !stack)
+            in
+            if not (Hashtbl.mem totals path) then begin
+              Hashtbl.add totals path (ref 0, ref 0.);
+              order := path :: !order
+            end;
+            stack := (e.ev_name, e.ev_ts, path) :: !stack
+          | Obs.E -> (
+            match !stack with
+            | [] -> ()
+            | (_, t0, path) :: rest ->
+              stack := rest;
+              let count, total = Hashtbl.find totals path in
+              incr count;
+              total := !total +. (Int64.to_float (Int64.sub e.ev_ts t0) /. 1e6)))
+      events;
+    Format.fprintf fmt "@[<v>span tree (domain-%d):@," main_tid;
+    List.iter
+      (fun path ->
+        let count, total = Hashtbl.find totals path in
+        let depth = List.length path - 1 in
+        Format.fprintf fmt "  %s%s  x%d  %.3f ms@,"
+          (String.concat "" (List.init depth (fun _ -> "  ")))
+          (List.nth path depth) !count !total)
+      (List.rev !order);
+    Format.fprintf fmt "@]"
+
+let section_ms ~prefix =
+  List.filter_map
+    (fun (name, (_, total, _)) ->
+      if String.starts_with ~prefix name then
+        Some
+          ( String.sub name (String.length prefix)
+              (String.length name - String.length prefix),
+            total )
+      else None)
+    (Obs.span_totals ())

@@ -1,0 +1,14 @@
+(** Human-readable rendering of the recorded spans and counters. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Span table (count, total ms, self ms, mean µs — execution order),
+    per-domain event/task utilisation, and every non-zero counter. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Span tree of the first (main) domain's buffer: nesting as recorded,
+    merged by path, one line per distinct path with count and total. *)
+
+val section_ms : prefix:string -> (string * float) list
+(** Total wall-clock per span whose name starts with [prefix], prefix
+    stripped, in execution order — the bench uses this to fold section
+    timings into its JSON artefact from the same clock as the trace. *)

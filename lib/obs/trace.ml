@@ -1,0 +1,75 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf = function
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      args;
+    Buffer.add_char buf '}'
+
+(* Timestamps are microseconds in the trace-event spec; we keep
+   nanosecond precision with a fractional part. *)
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let to_string () =
+  let events = Obs.events () in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf s
+  in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Obs.ev_tid) events) in
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain-%d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun (e : Obs.event) ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"ld\",\"ph\":\"%s\",\"ts\":%.3f,\
+            \"pid\":1,\"tid\":%d"
+           (escape e.ev_name)
+           (match e.ev_phase with Obs.B -> "B" | Obs.E -> "E")
+           (us_of_ns e.ev_ts) e.ev_tid);
+      add_args b e.ev_args;
+      Buffer.add_char b '}';
+      emit (Buffer.contents b))
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"ld_metrics\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\n\"%s\":%d" (escape name) v))
+    (Obs.counters ());
+  Buffer.add_string buf "\n}}\n";
+  Buffer.contents buf
+
+let write ~path =
+  if Obs.enabled () then begin
+    let oc = open_out path in
+    output_string oc (to_string ());
+    close_out oc
+  end

@@ -1,4 +1,12 @@
 module Ec = Ld_models.Ec
+module Obs = Ld_obs.Obs
+
+(* Per-round traffic of the EC executor: how many rounds ran, how many
+   darts each round's inbox construction scanned, and how many of those
+   were loop darts whose message reflects off the node itself. *)
+let c_rounds = Obs.Counter.make "runtime.ec.rounds"
+let c_darts = Obs.Counter.make "runtime.ec.darts_scanned"
+let c_reflected = Obs.Counter.make "runtime.ec.loop_reflected"
 
 type ('state, 'msg) machine = {
   init : degree:int -> colours:int list -> 'state;
@@ -21,32 +29,47 @@ let initial machine g =
 
 let step machine g states =
   let { Ec.row; colour; other; _ } = Ec.csr g in
+  (* Traffic tallies are per-round locals, flushed to the shared
+     counters once per step — no atomics inside the dart loop. *)
+  let darts = ref 0 and reflected = ref 0 in
   let inbox v =
     let hi = row.(v + 1) in
     let rec build d =
       if d >= hi then []
-      else
+      else begin
         let c = colour.(d) in
-        (c, machine.send states.(other.(d)) ~colour:c) :: build (d + 1)
+        let u = other.(d) in
+        incr darts;
+        if u = v then incr reflected;
+        (c, machine.send states.(u) ~colour:c) :: build (d + 1)
+      end
     in
     build row.(v)
   in
-  Array.mapi
-    (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
-    states
+  let next =
+    Array.mapi
+      (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
+      states
+  in
+  Obs.Counter.incr c_rounds;
+  Obs.Counter.add c_darts !darts;
+  Obs.Counter.add c_reflected !reflected;
+  next
 
 let run machine ~rounds g =
   if rounds < 0 then invalid_arg "Anon_ec.run: negative rounds";
-  let states = ref (initial machine g) in
-  for _ = 1 to rounds do
-    states := step machine g !states
-  done;
-  !states
+  Obs.with_span "runtime.ec.run" (fun () ->
+      let states = ref (initial machine g) in
+      for _ = 1 to rounds do
+        states := step machine g !states
+      done;
+      !states)
 
 let run_until machine ~max_rounds g =
-  let all_halted states = Array.for_all machine.halted states in
-  let rec go states r =
-    if all_halted states || r >= max_rounds then (states, r)
-    else go (step machine g states) (r + 1)
-  in
-  go (initial machine g) 0
+  Obs.with_span "runtime.ec.run" (fun () ->
+      let all_halted states = Array.for_all machine.halted states in
+      let rec go states r =
+        if all_halted states || r >= max_rounds then (states, r)
+        else go (step machine g states) (r + 1)
+      in
+      go (initial machine g) 0)

@@ -1,4 +1,10 @@
 module Po = Ld_models.Po
+module Obs = Ld_obs.Obs
+
+(* Mirrors the Anon_ec tallies for the port-ordered executor. *)
+let c_rounds = Obs.Counter.make "runtime.po.rounds"
+let c_darts = Obs.Counter.make "runtime.po.darts_scanned"
+let c_reflected = Obs.Counter.make "runtime.po.loop_reflected"
 
 type dart_key = { out : bool; colour : int }
 
@@ -27,35 +33,49 @@ let initial machine g =
 
 let step machine g states =
   let { Po.row; colour; dir; other; _ } = Po.csr g in
+  (* Per-round locals flushed to the shared counters once per step. *)
+  let darts = ref 0 and reflected = ref 0 in
   let inbox v =
     let hi = row.(v + 1) in
     let rec build d =
       if d >= hi then []
-      else
+      else begin
         let c = colour.(d) in
         let out = dir.(d) = 0 in
+        let u = other.(d) in
+        incr darts;
+        if u = v then incr reflected;
         (* The peer sends on its dart of the opposite direction. *)
-        ({ out; colour = c }, machine.send states.(other.(d)) { out = not out; colour = c })
+        ({ out; colour = c }, machine.send states.(u) { out = not out; colour = c })
         :: build (d + 1)
+      end
     in
     build row.(v)
   in
-  Array.mapi
-    (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
-    states
+  let next =
+    Array.mapi
+      (fun v s -> if machine.halted s then s else machine.recv s (inbox v))
+      states
+  in
+  Obs.Counter.incr c_rounds;
+  Obs.Counter.add c_darts !darts;
+  Obs.Counter.add c_reflected !reflected;
+  next
 
 let run machine ~rounds g =
   if rounds < 0 then invalid_arg "Anon_po.run: negative rounds";
-  let states = ref (initial machine g) in
-  for _ = 1 to rounds do
-    states := step machine g !states
-  done;
-  !states
+  Obs.with_span "runtime.po.run" (fun () ->
+      let states = ref (initial machine g) in
+      for _ = 1 to rounds do
+        states := step machine g !states
+      done;
+      !states)
 
 let run_until machine ~max_rounds g =
-  let all_halted states = Array.for_all machine.halted states in
-  let rec go states r =
-    if all_halted states || r >= max_rounds then (states, r)
-    else go (step machine g states) (r + 1)
-  in
-  go (initial machine g) 0
+  Obs.with_span "runtime.po.run" (fun () ->
+      let all_halted states = Array.for_all machine.halted states in
+      let rec go states r =
+        if all_halted states || r >= max_rounds then (states, r)
+        else go (step machine g states) (r + 1)
+      in
+      go (initial machine g) 0)

@@ -1,0 +1,287 @@
+(* Ld_obs: trace well-formedness, counter atomicity under the domain
+   pool, the disabled sink as a true no-op, and the adversary's
+   instrumented/uninstrumented equivalence. *)
+
+module Obs = Ld_obs.Obs
+module Trace = Ld_obs.Trace
+module Summary = Ld_obs.Summary
+module Pool = Ld_core.Pool
+module LB = Ld_core.Lower_bound
+module Packing = Ld_matching.Packing
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON validator: accepts exactly one JSON value plus
+   whitespace. Raises [Failure] on malformed input — enough to assert
+   the trace file is valid JSON without a JSON dependency. *)
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal l =
+    if !pos + String.length l <= n && String.sub s !pos (String.length l) = l
+    then pos := !pos + String.length l
+    else fail ("expected " ^ l)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          ws ();
+          string_lit ();
+          ws ();
+          expect ':';
+          value ();
+          ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          value ();
+          ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ()
+      end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected value"
+  in
+  value ();
+  ws ();
+  if !pos <> n then fail "trailing garbage"
+
+(* ------------------------------------------------------------------ *)
+
+let with_enabled f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let some_work delta = LB.run ~delta Packing.greedy_algorithm
+
+let trace_well_formed () =
+  with_enabled @@ fun () ->
+  (* Spans from the main domain plus a 2-domain pool fan-out. *)
+  ignore
+    (Obs.with_span "test.outer" (fun () ->
+         Pool.map ~domains:2 (fun d -> LB.max_level (some_work d)) [ 3; 4; 5; 6 ]));
+  let events = Obs.events () in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  (* Per-domain streams: balanced begin/end, properly nested, monotone
+     timestamps. A domain never appends to another domain's buffer, so
+     grouping by tid reconstructs each stream. *)
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Obs.ev_tid) events) in
+  Alcotest.(check bool) "two domains traced" true (List.length tids >= 2);
+  List.iter
+    (fun tid ->
+      let stream = List.filter (fun e -> e.Obs.ev_tid = tid) events in
+      let depth = ref 0 in
+      let last_ts = ref Int64.min_int in
+      List.iter
+        (fun (e : Obs.event) ->
+          Alcotest.(check bool) "monotone ts" true (Int64.compare e.ev_ts !last_ts >= 0);
+          last_ts := e.ev_ts;
+          match e.ev_phase with
+          | Obs.B -> incr depth
+          | Obs.E ->
+            decr depth;
+            Alcotest.(check bool) "no end before begin" true (!depth >= 0))
+        stream;
+      Alcotest.(check int) (Printf.sprintf "balanced on tid %d" tid) 0 !depth)
+    tids;
+  (* The exported file is valid JSON. *)
+  let path = Filename.temp_file "ld_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace.write ~path;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  validate_json contents;
+  (* And the summary aggregation sees the outer span exactly once. *)
+  match List.assoc_opt "test.outer" (Obs.span_totals ()) with
+  | Some (count, total_ms, _) ->
+    Alcotest.(check int) "outer span count" 1 count;
+    Alcotest.(check bool) "outer span has wall time" true (total_ms > 0.)
+  | None -> Alcotest.fail "test.outer span missing from totals"
+
+let counter_atomic_under_pool () =
+  with_enabled @@ fun () ->
+  let c = Obs.Counter.make "test.atomic" in
+  let per_task = 25_000 and tasks = 8 in
+  ignore
+    (Pool.map ~domains:4
+       (fun _ ->
+         for _ = 1 to per_task do
+           Obs.Counter.incr c
+         done)
+       (List.init tasks Fun.id));
+  Alcotest.(check int) "no lost increments" (per_task * tasks) (Obs.Counter.value c)
+
+let disabled_sink_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "test.disabled" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "counter stays zero" 0 (Obs.Counter.value c);
+  let ran = ref false in
+  let v =
+    Obs.with_span "test.disabled.span" (fun () ->
+        ran := true;
+        17)
+  in
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "value passed through" 17 v;
+  Alcotest.(check bool) "no events recorded" true (Obs.events () = []);
+  let path = Filename.temp_file "ld_obs_disabled" ".json" in
+  Sys.remove path;
+  Trace.write ~path;
+  Alcotest.(check bool) "no file written" false (Sys.file_exists path)
+
+(* The property the whole PR hangs on: instrumentation never changes
+   results. The adversary's outcome with the sink enabled is
+   structurally identical to the outcome with it disabled. *)
+let outcome_fingerprint = function
+  | LB.Certified certs ->
+    ( true,
+      List.map
+        (fun (c : LB.certificate) ->
+          ( c.level,
+            c.colour,
+            c.g_node,
+            c.h_node,
+            Ec.n c.g_graph,
+            Ec.n c.h_graph,
+            Q.to_string c.g_weight,
+            Q.to_string c.h_weight ))
+        certs,
+      -1 )
+  | LB.Refuted (certs, f) -> (false, [], f.LB.fail_level + List.length certs)
+
+let instrumented_equals_uninstrumented =
+  QCheck.Test.make ~count:20 ~name:"instrumented run = uninstrumented run"
+    (QCheck.pair (QCheck.int_range 2 6) (QCheck.int_range 0 4))
+    (fun (delta, truncate_roll) ->
+      (* Mix certified full runs with refuted truncations. *)
+      let algo =
+        if truncate_roll = 0 then Packing.truncated `Greedy (delta - 1)
+        else Packing.greedy_algorithm
+      in
+      Obs.disable ();
+      let plain = LB.run ~delta algo in
+      Obs.enable ();
+      Obs.reset ();
+      let traced = Fun.protect ~finally:Obs.disable (fun () -> LB.run ~delta algo) in
+      outcome_fingerprint plain = outcome_fingerprint traced)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "well-formed events and JSON export" `Quick
+            trace_well_formed;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "atomic under Pool.map (4 domains)" `Quick
+            counter_atomic_under_pool;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "sink off is a no-op" `Quick disabled_sink_is_noop ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest instrumented_equals_uninstrumented ] );
+    ]
