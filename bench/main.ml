@@ -116,7 +116,7 @@ let thm1 ~deltas ~mm_deltas () =
 (* ------------------------------------------------------------------ *)
 (* UPPER: rounds of the O(Δ) algorithms vs Δ across graph families. *)
 
-let upper () =
+let upper ?(deltas = [ 4; 8; 16; 32 ]) () =
   section "UPPER  rounds of maximal edge packing vs delta";
   row "  %-14s %-7s %-4s %-4s %-14s %-16s\n" "family" "n" "dlt" "k" "greedy rounds"
     "proposal rounds";
@@ -141,7 +141,7 @@ let upper () =
           ( "bounded-gnp",
             fun ~seed ~n ~delta -> Gen.random_bounded_degree ~seed n delta );
         ])
-    [ 4; 8; 16; 32 ];
+    deltas;
   row "  shape: greedy rounds = k <= 2*delta - 1 (exactly the colour count);\n";
   row "  proposal rounds stay within a small multiple of delta.\n"
 
@@ -533,9 +533,11 @@ let () =
      the LOCAL Model (PODC 2014)\n";
   let rows, timings =
     if quick then begin
-      (* Smoke pass for CI: the THM1 fan-out (pool + memo cache) and the
-         COST table on small deltas; no Bechamel. *)
+      (* Smoke pass for CI: the THM1 fan-out (pool + memo cache), the
+         UPPER path (greedy + proposal through the active-set runtime)
+         and the COST table on small deltas; no Bechamel. *)
       let rows = timed "thm1" (thm1 ~deltas:[ 2; 3; 4; 5; 6 ] ~mm_deltas:[ 4 ]) in
+      timed "upper" (upper ~deltas:[ 4; 8 ]);
       timed "cost" (cost ~rows ~cost_delta:6);
       (rows, [])
     end
@@ -545,7 +547,7 @@ let () =
           (thm1 ~deltas:[ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ]
              ~mm_deltas:[ 4; 8; 12 ])
       in
-      timed "upper" upper;
+      timed "upper" (upper ?deltas:None);
       timed "cost" (cost ~rows ~cost_delta:12);
       timed "approx" approx;
       timed "vc" vc;

@@ -24,13 +24,47 @@ let den t = t.den
 let neg t = { t with num = Z.neg t.num }
 let abs t = { t with num = Z.abs t.num }
 
+(* [add]/[mul] below use the classical cross-reduced (Henrici) formulas:
+   with canonical inputs the gcds run on the small cofactors instead of
+   the full-size products, and the results are canonical by
+   construction — the canonical form is unique, so observable values
+   are unchanged. *)
 let add a b =
-  make (Z.add (Z.mul a.num b.den) (Z.mul b.num a.den)) (Z.mul a.den b.den)
+  if Z.is_zero a.num then b
+  else if Z.is_zero b.num then a
+  else begin
+    let g1 = Z.gcd a.den b.den in
+    if Z.equal g1 Z.one then
+      { num = Z.add (Z.mul a.num b.den) (Z.mul b.num a.den);
+        den = Z.mul a.den b.den }
+    else begin
+      let d1 = Z.div a.den g1 and d2 = Z.div b.den g1 in
+      let t = Z.add (Z.mul a.num d2) (Z.mul b.num d1) in
+      if Z.is_zero t then { num = Z.zero; den = Z.one }
+      else begin
+        let g2 = Z.gcd t g1 in
+        { num = Z.div t g2; den = Z.mul d1 (Z.div b.den g2) }
+      end
+    end
+  end
 
 let sub a b = add a (neg b)
-let mul a b = make (Z.mul a.num b.num) (Z.mul a.den b.den)
-let div a b = make (Z.mul a.num b.den) (Z.mul a.den b.num)
-let inv t = make t.den t.num
+
+let mul a b =
+  if Z.is_zero a.num || Z.is_zero b.num then { num = Z.zero; den = Z.one }
+  else begin
+    let g1 = Z.gcd a.num b.den and g2 = Z.gcd b.num a.den in
+    { num = Z.mul (Z.div a.num g1) (Z.div b.num g2);
+      den = Z.mul (Z.div a.den g2) (Z.div b.den g1) }
+  end
+
+(* A canonical [t] inverts by swapping fields; no re-reduction needed. *)
+let inv t =
+  if Z.is_zero t.num then raise Division_by_zero
+  else if Z.sign t.num < 0 then { num = Z.neg t.den; den = Z.neg t.num }
+  else { num = t.den; den = t.num }
+
+let div a b = mul a (inv b)
 
 let compare a b = Z.compare (Z.mul a.num b.den) (Z.mul b.num a.den)
 let equal a b = Z.equal a.num b.num && Z.equal a.den b.den

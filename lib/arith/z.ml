@@ -140,6 +140,27 @@ let shift_left_bits t k =
     normalize t.sign r
   end
 
+let shift_right_bits t k =
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let word = k / base_bits and bit = k mod base_bits in
+    let la = Array.length t.mag in
+    if word >= la then zero
+    else begin
+      let lr = la - word in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = t.mag.(i + word) lsr bit in
+        let hi =
+          if i + word + 1 < la then t.mag.(i + word + 1) lsl (base_bits - bit)
+          else 0
+        in
+        r.(i) <- (lo lor hi) land base_mask
+      done;
+      normalize t.sign r
+    end
+  end
+
 let num_bits t =
   if t.sign = 0 then 0
   else begin
@@ -148,21 +169,100 @@ let num_bits t =
     ((Array.length t.mag - 1) * base_bits) + bits top 0
   end
 
-(* Magnitude division by shift-and-subtract over bits: simple and exact. *)
-let divmod_mag a b =
-  let q = ref zero and r = ref zero in
-  let bits = num_bits (normalize 1 (Array.copy a)) in
-  for i = bits - 1 downto 0 do
-    r := shift_left_bits !r 1;
-    let word = i / base_bits and bit = i mod base_bits in
-    if (a.(word) lsr bit) land 1 = 1 then r := add !r one;
-    q := shift_left_bits !q 1;
-    if compare_mag !r.mag b >= 0 then begin
-      r := normalize 1 (sub_mag !r.mag b);
-      q := add !q one
-    end
+(* Short division: divisor fits one limb. *)
+let divmod_mag_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
   done;
-  (!q, !r)
+  (normalize 1 q, of_int !r)
+
+(* Magnitude long division, Knuth TAOCP vol. 2 Algorithm D: limb-at-a-
+   time with a two-limb trial quotient against a divisor normalised so
+   its top limb is >= base/2. All intermediates fit a native int (limb
+   products are < 2^30). Replaces the historic bit-by-bit
+   shift-and-subtract loop, which allocated two bignums per dividend
+   bit and made every [gcd] (hence every canonicalising [Q] operation)
+   quadratic in the operand's bit length with a brutal constant. *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  if lb = 1 then divmod_mag_small a b.(0)
+  else if compare_mag a b < 0 then (zero, normalize 1 (Array.copy a))
+  else begin
+    let la = Array.length a in
+    (* Normalise: shift so the divisor's top limb has its high bit set. *)
+    let rec count_shift v acc =
+      if v land (base lsr 1) <> 0 then acc else count_shift (v lsl 1) (acc + 1)
+    in
+    let shift = count_shift b.(lb - 1) 0 in
+    let u = Array.make (la + 1) 0 in
+    for i = 0 to la - 1 do
+      let x = a.(i) lsl shift in
+      u.(i) <- u.(i) lor (x land base_mask);
+      u.(i + 1) <- x lsr base_bits
+    done;
+    let v = Array.make lb 0 in
+    for i = 0 to lb - 1 do
+      let x = b.(i) lsl shift in
+      v.(i) <- v.(i) lor (x land base_mask);
+      if i + 1 < lb then v.(i + 1) <- x lsr base_bits
+    done;
+    let v1 = v.(lb - 1) and v2 = v.(lb - 2) in
+    let q = Array.make (la - lb + 1) 0 in
+    for j = la - lb downto 0 do
+      (* Trial quotient from the top two dividend limbs. *)
+      let top = (u.(j + lb) lsl base_bits) lor u.(j + lb - 1) in
+      let qhat = ref (Stdlib.min (top / v1) base_mask) in
+      let rhat = ref (top - (!qhat * v1)) in
+      while
+        !rhat < base && !qhat * v2 > (!rhat lsl base_bits) lor u.(j + lb - 2)
+      do
+        decr qhat;
+        rhat := !rhat + v1
+      done;
+      (* Multiply-subtract v * qhat from u[j .. j+lb]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to lb - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let s = u.(i + j) - (p land base_mask) - !borrow in
+        if s < 0 then begin
+          u.(i + j) <- s + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- s;
+          borrow := 0
+        end
+      done;
+      let s = u.(j + lb) - !carry - !borrow in
+      if s < 0 then begin
+        (* Trial quotient one too large: add the divisor back. *)
+        u.(j + lb) <- s + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to lb - 1 do
+          let t = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- t land base_mask;
+          c := t lsr base_bits
+        done;
+        u.(j + lb) <- (u.(j + lb) + !c) land base_mask
+      end
+      else u.(j + lb) <- s;
+      q.(j) <- !qhat
+    done;
+    (* Denormalise the remainder (first lb limbs of u, shifted back). *)
+    let r = Array.make lb 0 in
+    for i = 0 to lb - 1 do
+      let hi = if i + 1 < lb then u.(i + 1) else 0 in
+      r.(i) <- ((u.(i) lsr shift) lor (hi lsl (base_bits - shift))) land base_mask
+    done;
+    (normalize 1 q, normalize 1 r)
+  end
 
 let divmod a b =
   if b.sign = 0 then raise Division_by_zero
@@ -177,9 +277,45 @@ let divmod a b =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let rec gcd a b =
+(* Binary (Stein) GCD: shifts and subtractions only. Division-free, so
+   canonicalising a [Q] no longer pays a long division per Euclid step. *)
+let gcd a b =
   let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let trailing_zeros t =
+      let i = ref 0 in
+      while t.mag.(!i) = 0 do
+        incr i
+      done;
+      let v = ref t.mag.(!i) and bits = ref 0 in
+      while !v land 1 = 0 do
+        v := !v lsr 1;
+        incr bits
+      done;
+      (!i * base_bits) + !bits
+    in
+    let ka = trailing_zeros a and kb = trailing_zeros b in
+    let a = ref (shift_right_bits a ka) and b = ref (shift_right_bits b kb) in
+    (* Both odd; the invariant is restored after every step. *)
+    let continue = ref true in
+    while !continue do
+      let c = compare_mag !a.mag !b.mag in
+      if c = 0 then continue := false
+      else begin
+        if c < 0 then begin
+          let t = !a in
+          a := !b;
+          b := t
+        end;
+        let d = normalize 1 (sub_mag !a.mag !b.mag) in
+        a := !b;
+        b := shift_right_bits d (trailing_zeros d)
+      end
+    done;
+    shift_left_bits !a (Stdlib.min ka kb)
+  end
 
 let pow b n =
   if n < 0 then invalid_arg "Z.pow: negative exponent";

@@ -1,77 +1,6 @@
-(* A minimal fork-join pool over OCaml 5 domains for the benchmark's
-   outer fan-out (per-Δ theorem rows, per-r frontier probes). Tasks are
-   pulled from a shared atomic index; results land in a slot per task,
-   so the output order is the submission order no matter which domain
-   ran what — callers see deterministic results. *)
+(* The pool now lives in [Ld_pool] (bottom of the library stack) so the
+   runtime executors can fan rounds out across domains without creating
+   a cycle with [ld_core]. Re-exported here so callers keep addressing
+   it as [Ld_core.Pool]. *)
 
-module Obs = Ld_obs.Obs
-
-let c_maps = Obs.Counter.make "core.pool.maps"
-let c_tasks = Obs.Counter.make "core.pool.tasks"
-let c_workers = Obs.Counter.make "core.pool.workers_spawned"
-
-(* The backtrace travels with the exception so a worker failure
-   re-raised on the main domain still points into the task body. *)
-type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
-
-let default_domains () =
-  match Sys.getenv_opt "LD_DOMAINS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some d -> Stdlib.max 1 d
-    | None ->
-      Printf.eprintf
-        "ld: warning: ignoring malformed LD_DOMAINS=%S (expected an integer); \
-         using 1 domain\n\
-         %!"
-        s;
-      1)
-  | None -> Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
-
-let run_task f x = Obs.with_span "core.pool.task" (fun () -> f x)
-
-let map ?domains f items =
-  let input = Array.of_list items in
-  let n = Array.length input in
-  let requested =
-    match domains with Some d -> Stdlib.max 1 d | None -> default_domains ()
-  in
-  let workers = Stdlib.min requested n in
-  Obs.Counter.incr c_maps;
-  Obs.Counter.add c_tasks n;
-  if workers <= 1 then List.map (run_task f) items
-  else
-    Obs.with_span
-      ~args:
-        [ ("tasks", string_of_int n); ("workers", string_of_int workers) ]
-      "core.pool.map"
-    @@ fun () ->
-    let results = Array.make n Pending in
-    let next = Atomic.make 0 in
-    let rec work () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <-
-          (match run_task f input.(i) with
-          | v -> Done v
-          | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
-        work ()
-      end
-    in
-    let worker () = Obs.with_span "core.pool.worker" work in
-    Obs.Counter.add c_workers (workers - 1);
-    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    (* The join is the pool's idle tail: the main domain ran dry while
-       some worker still holds the longest task. *)
-    Obs.with_span "core.pool.join" (fun () -> Array.iter Domain.join spawned);
-    (* Surface the first failure in submission order, as sequential
-       [List.map] would — with the worker domain's backtrace. *)
-    Array.to_list results
-    |> List.map (function
-         | Done v -> v
-         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-         | Pending -> assert false)
-
-let mapi ?domains f items =
-  map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) items)
+include Ld_pool.Pool

@@ -28,7 +28,7 @@ let machine ~k : (state, bool) Anon.machine =
           rounds_left = k + 1;
         });
     (* Announce whether I am frozen. *)
-    send = (fun s ~colour:_ -> s.frozen);
+    send = (fun s -> s.frozen);
     recv =
       (fun s inbox ->
         (* A dart doubles iff neither endpoint was frozen at round start. *)
@@ -36,7 +36,7 @@ let machine ~k : (state, bool) Anon.machine =
           List.map
             (fun (c, w) ->
               let their_frozen =
-                Option.value ~default:false (List.assoc_opt c inbox)
+                Option.value ~default:false (Anon.Inbox.find inbox ~colour:c)
               in
               if s.frozen || their_frozen then (c, w) else (c, Q.add w w))
             s.dart_w

@@ -6,6 +6,7 @@ type phase = Propose | Respond
 
 type st = {
   rng : Random.State.t;
+  deg : int;
   live : int list; (* ports whose far endpoint is believed unmatched *)
   matched_port : int option;
   phase : phase;
@@ -29,6 +30,7 @@ let machine : (st, msg, int option) Sync.machine =
         let proposer = degree > 0 && Random.State.bool rng in
         {
           rng;
+          deg = degree;
           live;
           matched_port = None;
           phase = Propose;
@@ -45,10 +47,14 @@ let machine : (st, msg, int option) Sync.machine =
           });
     recv =
       (fun s inbox ->
+        (* Port-indexed inbox: O(1) lookups instead of assoc scans per
+           live port. *)
+        let msgs = Array.make s.deg None in
+        List.iter (fun (p, m) -> msgs.(p) <- Some m) inbox;
         let live =
           List.filter
             (fun p ->
-              match List.assoc_opt p inbox with
+              match msgs.(p) with
               | Some m -> not m.m_matched
               | None -> true)
             s.live
@@ -62,7 +68,7 @@ let machine : (st, msg, int option) Sync.machine =
             else
               List.find_opt
                 (fun p ->
-                  match List.assoc_opt p inbox with
+                  match msgs.(p) with
                   | Some m -> m.m_propose && not m.m_matched
                   | None -> false)
                 (List.sort compare live)
@@ -78,7 +84,7 @@ let machine : (st, msg, int option) Sync.machine =
               | None -> begin
                 match s.proposal_port with
                 | Some p -> begin
-                  match List.assoc_opt p inbox with
+                  match msgs.(p) with
                   | Some m when m.m_accept -> Some p
                   | _ -> None
                 end

@@ -20,11 +20,11 @@ let machine : (state, bool) Anon.machine =
       (fun ~degree:_ ~colours ->
         { phase = 1; matched = None; last = List.fold_left Stdlib.max 0 colours });
     (* A node announces whether it is still unmatched. *)
-    send = (fun s ~colour:_ -> s.matched = None);
+    send = (fun s -> s.matched = None);
     recv =
       (fun s inbox ->
         let s =
-          match (s.matched, List.assoc_opt s.phase inbox) with
+          match (s.matched, Anon.Inbox.find inbox ~colour:s.phase) with
           | None, Some true -> { s with matched = Some s.phase }
           | _ -> s
         in

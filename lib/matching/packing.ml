@@ -43,11 +43,13 @@ let greedy_machine : (greedy_state, Q.t) Anon.machine =
           g_weights = [];
           g_last = List.fold_left Stdlib.max 0 colours;
         });
-    send = (fun s ~colour:_ -> s.g_slack);
+    send = (fun s -> s.g_slack);
     recv =
       (fun s inbox ->
         let s =
-          match List.assoc_opt s.g_phase inbox with
+          (* Phase c reads exactly the colour-c dart: one lazy-inbox
+             lookup, not a degree-length scan. *)
+          match Anon.Inbox.find inbox ~colour:s.g_phase with
           | None -> s
           | Some their_slack ->
             let w = Q.min s.g_slack their_slack in
@@ -85,6 +87,7 @@ type proposal_msg = { p_offer : Q.t; p_sat : bool }
 
 type proposal_state = {
   p_slack : Q.t;
+  p_offer : Q.t; (* cached [my_offer] of this state — see [with_offer] *)
   p_dead : int list; (* dart colours known dead *)
   p_weights : (int * Q.t) list;
   p_colours : int list;
@@ -97,23 +100,44 @@ let my_offer s =
   if live = [] || Q.is_zero s.p_slack then Q.zero
   else Q.div s.p_slack (Q.of_int (List.length live))
 
+(* The offer is an exact-rational division over the live-colour count —
+   by far the costliest part of a proposal round — so it is computed
+   once per state transition and carried in the state, rather than per
+   send. *)
+let with_offer s = { s with p_offer = my_offer s }
+
 let proposal_machine : (proposal_state, proposal_msg) Anon.machine =
   {
     init =
       (fun ~degree:_ ~colours ->
-        { p_slack = Q.one; p_dead = []; p_weights = []; p_colours = colours });
-    send =
-      (fun s ~colour:_ -> { p_offer = my_offer s; p_sat = Q.is_zero s.p_slack });
+        with_offer
+          {
+            p_slack = Q.one;
+            p_offer = Q.zero;
+            p_dead = [];
+            p_weights = [];
+            p_colours = colours;
+          });
+    send = (fun s -> { p_offer = s.p_offer; p_sat = Q.is_zero s.p_slack });
     recv =
       (fun s inbox ->
-        let offer = my_offer s in
+        let offer = s.p_offer in
         let i_am_sat = Q.is_zero s.p_slack in
         let increments =
-          List.filter_map
-            (fun (c, m) ->
-              if List.mem c s.p_dead then None
-              else Some (c, Q.min offer m.p_offer))
-            inbox
+          (* Walk dart indices so dead colours cost a colour peek, not a
+             message read. *)
+          let d = Anon.Inbox.degree inbox in
+          let rec go i acc =
+            if i >= d then List.rev acc
+            else begin
+              let c = Anon.Inbox.colour inbox i in
+              if List.mem c s.p_dead then go (i + 1) acc
+              else
+                go (i + 1)
+                  ((c, Q.min offer (Anon.Inbox.msg inbox i).p_offer) :: acc)
+            end
+          in
+          go 0 []
         in
         let gained = Q.sum (List.map snd increments) in
         let weights =
@@ -134,13 +158,13 @@ let proposal_machine : (proposal_state, proposal_msg) Anon.machine =
               (not (List.mem c s.p_dead))
               && (i_am_sat || now_sat
                  ||
-                 match List.assoc_opt c inbox with
+                 match Anon.Inbox.find inbox ~colour:c with
                  | Some m -> m.p_sat
                  | None -> false))
             s.p_colours
           @ s.p_dead
         in
-        { s with p_slack = slack; p_dead = dead; p_weights = weights });
+        with_offer { s with p_slack = slack; p_dead = dead; p_weights = weights });
     halted =
       (fun s -> List.for_all (fun c -> List.mem c s.p_dead) s.p_colours);
   }

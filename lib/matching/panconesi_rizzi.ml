@@ -96,7 +96,11 @@ let machine ~delta ~sched : (st, msg, int option) Sync.machine =
               }));
     recv =
       (fun s inbox ->
-        let from p = List.assoc_opt p inbox in
+        (* Port-indexed inbox: O(1) lookups instead of assoc scans in
+           the per-forest loops below. *)
+        let msgs = Array.make s.deg None in
+        List.iter (fun (p, m) -> msgs.(p) <- Some m) inbox;
+        let from p = msgs.(p) in
         let s =
           match s.sched.(s.round) with
           | R_learn_ids ->

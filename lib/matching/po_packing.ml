@@ -7,6 +7,7 @@ type msg = { m_offer : Q.t; m_sat : bool }
 
 type state = {
   slack : Q.t;
+  offer : Q.t; (* cached [my_offer] of this state — see [with_offer] *)
   dead : Anon.dart_key list;
   weights : (Anon.dart_key * Q.t) list; (* cumulative, per dart *)
   keys : Anon.dart_key list;
@@ -19,19 +20,36 @@ let my_offer s =
   if live = [] || Q.is_zero s.slack then Q.zero
   else Q.div s.slack (Q.of_int (List.length live))
 
+(* Exact-rational division per state transition, not per send — the
+   same send-side collapse as Packing.proposal_machine. *)
+let with_offer s = { s with offer = my_offer s }
+
 let machine : (state, msg) Anon.machine =
   {
-    init = (fun ~darts -> { slack = Q.one; dead = []; weights = []; keys = darts });
-    send = (fun s _ -> { m_offer = my_offer s; m_sat = Q.is_zero s.slack });
+    init =
+      (fun ~darts ->
+        with_offer
+          { slack = Q.one; offer = Q.zero; dead = []; weights = []; keys = darts });
+    send = (fun s -> { m_offer = s.offer; m_sat = Q.is_zero s.slack });
     recv =
       (fun s inbox ->
-        let offer = my_offer s in
+        let offer = s.offer in
         let i_am_sat = Q.is_zero s.slack in
         let increments =
-          List.filter_map
-            (fun (k, m) ->
-              if List.mem k s.dead then None else Some (k, Q.min offer m.m_offer))
-            inbox
+          (* Walk dart indices so dead keys cost a key peek, not a
+             message read. *)
+          let d = Anon.Inbox.degree inbox in
+          let rec go i acc =
+            if i >= d then List.rev acc
+            else begin
+              let k = Anon.Inbox.key inbox i in
+              if List.mem k s.dead then go (i + 1) acc
+              else
+                go (i + 1)
+                  ((k, Q.min offer (Anon.Inbox.msg inbox i).m_offer) :: acc)
+            end
+          in
+          go 0 []
         in
         let gained = Q.sum (List.map snd increments) in
         let weights =
@@ -52,13 +70,13 @@ let machine : (state, msg) Anon.machine =
               (not (List.mem k s.dead))
               && (i_am_sat || now_sat
                  ||
-                 match List.assoc_opt k inbox with
+                 match Anon.Inbox.find inbox ~key:k with
                  | Some m -> m.m_sat
                  | None -> false))
             s.keys
           @ s.dead
         in
-        { s with slack; dead; weights });
+        with_offer { s with slack; dead; weights });
     halted = (fun s -> List.for_all (fun k -> List.mem k s.dead) s.keys);
   }
 

@@ -1,9 +1,11 @@
 (** Synchronous execution of anonymous algorithms on EC multigraphs.
 
     A machine is a deterministic synchronous state machine: at every
-    round each node produces one message per incident dart (indexed by
-    its colour — the only name a node has for a dart in the EC model),
-    then consumes the messages arriving on its darts.
+    round each node broadcasts one message (the same on every incident
+    dart — WLOG in the EC model, because the receiver already knows the
+    shared edge colour and can project whatever colour-dependent content
+    it needs out of its own dart name), then consumes the messages
+    arriving on its darts and steps its state.
 
     {b Loop reflection.} On a dart that is a loop (semi-edge), the node
     receives the very message it sent on that dart. This makes execution
@@ -13,26 +15,95 @@
     precisely what the node itself sent. Consequently every machine run
     through this module satisfies the lift-invariance condition (2) of
     the paper by construction — this is how we "run algorithms on
-    factor graphs" without materialising infinite universal covers. *)
+    factor graphs" without materialising infinite universal covers.
+
+    {b Scheduling.} The default executor is an {e active-set} engine:
+    each node's broadcast is computed once per round into a flat buffer
+    (send-once caching; a halted node's message is computed once at halt
+    time and reused forever), rounds walk a worklist of non-halted nodes
+    (halted-frontier scheduling), and inboxes are lazy views over the
+    graph's CSR arrays — a [recv] that reads one dart costs one read,
+    not degree allocations. [~reference:true] selects the dense
+    per-round full-scan executor instead (every send recomputed, every
+    inbox walked, [Array.for_all] halting scan), which is the
+    differential oracle the qcheck suite compares against. Above
+    [par_threshold] active nodes the active-set engine fans each round
+    out across domains in contiguous node ranges with a deterministic
+    submission-order merge, so results are byte-identical to the
+    sequential run. *)
+
+(** One round's incoming messages at a node: a zero-allocation view over
+    the graph's CSR dart arrays and the executor's send buffer. Entries
+    are indexed [0 .. degree-1] in ascending colour order and are only
+    materialised when read — reads are tallied into the
+    [runtime.ec.darts_scanned] counter. The view is only valid inside
+    the [recv] call it is passed to; do not store it. *)
+module Inbox : sig
+  type 'msg t
+
+  val degree : 'msg t -> int
+
+  (** Colour of the [i]-th dart (ascending in [i]). Does not count as a
+      dart read. *)
+  val colour : 'msg t -> int -> int
+
+  (** Message arriving on the [i]-th dart. *)
+  val msg : 'msg t -> int -> 'msg
+
+  (** Message arriving on the dart of the given colour, if any — a
+      binary search over the node's colour-sorted dart segment. *)
+  val find : 'msg t -> colour:int -> 'msg option
+
+  val fold : ('a -> colour:int -> 'msg -> 'a) -> 'a -> 'msg t -> 'a
+
+  (** The whole inbox as an assoc list sorted by colour — the historic
+      dense representation; allocates, intended for tests/debugging. *)
+  val to_list : 'msg t -> (int * 'msg) list
+end
 
 type ('state, 'msg) machine = {
   init : degree:int -> colours:int list -> 'state;
       (** Initial state; [colours] are the node's dart colours, sorted. *)
-  send : 'state -> colour:int -> 'msg;
-      (** Message for the dart of the given colour. *)
-  recv : 'state -> (int * 'msg) list -> 'state;
-      (** Consume one round's inbox, sorted by dart colour. *)
+  send : 'state -> 'msg;
+      (** The node's broadcast message for the coming round. Must be a
+          pure function of the state: the executor calls it once per
+          round per active node (and once, ever, per halted state). *)
+  recv : 'state -> 'msg Inbox.t -> 'state;
+      (** Consume one round's inbox. *)
   halted : 'state -> bool;
-      (** Once true, the node's state is frozen (its messages continue to
-          be delivered, computed from the frozen state). *)
+      (** Once true, the node's state is frozen (its broadcast continues
+          to be delivered, computed once from the frozen state). *)
 }
 
+(** Active-node count above which a round is fanned out across domains
+    (when the effective domain count exceeds 1). *)
+val default_par_threshold : int
+
 (** [run machine ~rounds g] executes exactly [rounds] rounds (halted
-    nodes frozen) and returns the final states. *)
-val run : ('s, 'm) machine -> rounds:int -> Ld_models.Ec.t -> 's array
+    nodes frozen; rounds in which every node has halted are skipped — a
+    no-op by the frozen-state contract) and returns the final states.
+
+    @param reference use the dense full-scan executor (default false).
+    @param par_threshold see {!default_par_threshold}.
+    @param domains domain budget for parallel rounds; defaults to
+      [Ld_pool.Pool.default_domains ()]. *)
+val run :
+  ?reference:bool ->
+  ?par_threshold:int ->
+  ?domains:int ->
+  ('s, 'm) machine ->
+  rounds:int ->
+  Ld_models.Ec.t ->
+  's array
 
 (** [run_until machine ~max_rounds g] stops as soon as every node has
     halted (or after [max_rounds]); returns final states and the number
-    of rounds executed. *)
+    of rounds executed. Parameters as in {!run}. *)
 val run_until :
-  ('s, 'm) machine -> max_rounds:int -> Ld_models.Ec.t -> 's array * int
+  ?reference:bool ->
+  ?par_threshold:int ->
+  ?domains:int ->
+  ('s, 'm) machine ->
+  max_rounds:int ->
+  Ld_models.Ec.t ->
+  's array * int

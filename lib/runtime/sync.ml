@@ -1,5 +1,14 @@
 module G = Ld_graph.Graph
 module Id = Ld_models.Labelled.Id
+module Obs = Ld_obs.Obs
+
+(* Active-frontier tallies for the ID-model simulator. [sends] counts
+   live [machine.send] calls; [send_cache_hits] counts messages served
+   from a halted sender's per-port cache instead. *)
+let c_rounds = Obs.Counter.make "runtime.sync.rounds"
+let c_sends = Obs.Counter.make "runtime.sync.sends"
+let c_cache_hits = Obs.Counter.make "runtime.sync.send_cache_hits"
+let c_active = Obs.Counter.make "runtime.sync.active_nodes"
 
 type ('state, 'msg, 'out) machine = {
   init : id:int -> degree:int -> rng:Random.State.t -> 'state;
@@ -10,52 +19,115 @@ type ('state, 'msg, 'out) machine = {
 
 type 'out result = { outputs : 'out array; rounds : int }
 
+(* Receiver-driven execution: instead of pushing every node's sends
+   into per-receiver lists and sorting them, each active node pulls the
+   message for its own port [r] straight from the sender across that
+   port. Ports are distinct per receiver (the graph is simple), so
+   walking own ports in ascending order reproduces exactly the
+   port-sorted inbox the push-and-sort loop built. A halted sender's
+   state is frozen, so its per-port messages are computed once at halt
+   time and served from a flat dart-indexed cache ever after. *)
 let run machine ~seed ~max_rounds idg =
+  Obs.with_span "runtime.sync.run" @@ fun () ->
   let g = Id.graph idg in
   let n = G.n g in
   (* Port p of node v leads to its p-th smallest neighbour. *)
   let ports = Array.init n (fun v -> Array.of_list (G.neighbours g v)) in
-  (* port_back.(v).(p) is the port of the far endpoint that leads back. *)
+  (* port_of.(v).(p) is the port of the far endpoint that leads back. *)
   let port_of = Array.make n [||] in
   for v = 0 to n - 1 do
-    port_of.(v) <- Array.map
-      (fun w ->
-        let back = ref (-1) in
-        Array.iteri (fun q x -> if x = v then back := q) ports.(w);
-        !back)
-      ports.(v)
+    port_of.(v) <-
+      Array.map
+        (fun w ->
+          let back = ref (-1) in
+          Array.iteri (fun q x -> if x = v then back := q) ports.(w);
+          !back)
+        ports.(v)
+  done;
+  (* Dart row offsets for the frozen-sender cache: the message a halted
+     node v sends on port p lives at cache.(rowf.(v) + p). *)
+  let rowf = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    rowf.(v + 1) <- rowf.(v) + Array.length ports.(v)
   done;
   let states =
     Array.init n (fun v ->
         let rng = Random.State.make [| seed; Id.id idg v; 0x5ca1e |] in
         machine.init ~id:(Id.id idg v) ~degree:(Array.length ports.(v)) ~rng)
   in
-  let halted v = machine.output states.(v) <> None in
-  let round = ref 0 in
-  while Array.exists (fun v -> not (halted v)) (Array.init n Fun.id)
-        && !round < max_rounds do
-    incr round;
-    let inboxes = Array.make n [] in
-    for v = n - 1 downto 0 do
-      Array.iteri
-        (fun p w ->
-          match machine.send states.(v) ~port:p with
-          | None -> ()
-          | Some m -> inboxes.(w) <- (port_of.(v).(p), m) :: inboxes.(w))
-        ports.(v)
-    done;
-    for v = 0 to n - 1 do
-      if not (halted v) then
-        states.(v) <- machine.recv states.(v) (List.sort compare inboxes.(v))
+  let halted = Array.make n false in
+  let cache = Array.make (Stdlib.max 1 rowf.(n)) None in
+  let freeze v =
+    halted.(v) <- true;
+    let base = rowf.(v) in
+    for p = 0 to Array.length ports.(v) - 1 do
+      cache.(base + p) <- machine.send states.(v) ~port:p
     done
+  in
+  let active = Array.make (Stdlib.max 1 n) 0 in
+  let n_active = ref 0 in
+  for v = 0 to n - 1 do
+    if machine.output states.(v) <> None then freeze v
+    else begin
+      active.(!n_active) <- v;
+      incr n_active
+    end
   done;
+  let inboxes = Array.make (Stdlib.max 1 n) [] in
+  let round = ref 0 in
+  let sends = ref 0 and hits = ref 0 and total_active = ref 0 in
+  while !n_active > 0 && !round < max_rounds do
+    incr round;
+    total_active := !total_active + !n_active;
+    (* Pass 1: assemble every active node's inbox from the pre-round
+       states, so synchrony is preserved when pass 2 mutates them. *)
+    for k = 0 to !n_active - 1 do
+      let v = active.(k) in
+      let pv = ports.(v) and bv = port_of.(v) in
+      let acc = ref [] in
+      for r = Array.length pv - 1 downto 0 do
+        let w = pv.(r) in
+        let q = bv.(r) in
+        let m =
+          if halted.(w) then begin
+            incr hits;
+            cache.(rowf.(w) + q)
+          end
+          else begin
+            incr sends;
+            machine.send states.(w) ~port:q
+          end
+        in
+        match m with None -> () | Some m -> acc := (r, m) :: !acc
+      done;
+      inboxes.(v) <- !acc
+    done;
+    (* Pass 2: step the active states, freeze the freshly halted and
+       compact the worklist in place, preserving node order. *)
+    let w = ref 0 in
+    for k = 0 to !n_active - 1 do
+      let v = active.(k) in
+      states.(v) <- machine.recv states.(v) inboxes.(v);
+      if machine.output states.(v) <> None then freeze v
+      else begin
+        active.(!w) <- v;
+        incr w
+      end
+    done;
+    n_active := !w
+  done;
+  Obs.Counter.add c_rounds !round;
+  Obs.Counter.add c_sends !sends;
+  Obs.Counter.add c_cache_hits !hits;
+  Obs.Counter.add c_active !total_active;
   let outputs =
     Array.init n (fun v ->
         match machine.output states.(v) with
         | Some o -> o
         | None ->
           failwith
-            (Printf.sprintf "Sync.run: node %d (id %d) did not halt within %d rounds"
-               v (Id.id idg v) max_rounds))
+            (Printf.sprintf
+               "Sync.run: node %d (id %d) did not halt within %d rounds" v
+               (Id.id idg v) max_rounds))
   in
   { outputs; rounds = !round }

@@ -9,7 +9,14 @@
 
     Ports are [0 .. deg-1], in sorted-neighbour order. Randomised
     algorithms draw from the per-node generator supplied to [init],
-    seeded deterministically from [(seed, id)] for reproducibility. *)
+    seeded deterministically from [(seed, id)] for reproducibility.
+
+    {b Scheduling.} The simulator runs receiver-driven over an active
+    worklist: each round costs O(active nodes and their ports), halted
+    nodes drop off the worklist, and a halted sender's per-port messages
+    are computed once at halt time and cached ([send] must therefore be
+    a pure function of the state — randomised machines keep their draws
+    in [init]/[recv], which both Israeli–Itai and Panconesi–Rizzi do). *)
 
 type ('state, 'msg, 'out) machine = {
   init : id:int -> degree:int -> rng:Random.State.t -> 'state;

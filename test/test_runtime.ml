@@ -1,5 +1,5 @@
-(* LOCAL runtime: anonymous runners (loop reflection) and the ID
-   simulator. *)
+(* LOCAL runtime: anonymous runners (loop reflection, active-set
+   executor vs dense reference oracle) and the ID simulator. *)
 
 module Ec = Ld_models.Ec
 module Po = Ld_models.Po
@@ -21,14 +21,16 @@ let probe_machine : (probe, string) Anon_ec.machine =
     init =
       (fun ~degree:_ ~colours ->
         { seen = String.concat "," (List.map string_of_int colours) });
-    send = (fun s ~colour:_ -> s.seen);
+    send = (fun s -> s.seen);
     recv =
       (fun s inbox ->
         {
           seen =
             s.seen ^ "|"
             ^ String.concat ";"
-                (List.map (fun (c, m) -> Printf.sprintf "%d<%s>" c m) inbox);
+                (List.map
+                   (fun (c, m) -> Printf.sprintf "%d<%s>" c m)
+                   (Anon_ec.Inbox.to_list inbox));
         });
     halted = (fun _ -> false);
   }
@@ -82,7 +84,7 @@ let run_until_halts () =
   let machine : (int * int, unit) Anon_ec.machine =
     {
       init = (fun ~degree ~colours:_ -> (degree, 0));
-      send = (fun _ ~colour:_ -> ());
+      send = (fun _ -> ());
       recv = (fun (d, r) _ -> (d, r + 1));
       halted = (fun (d, r) -> r >= d);
     }
@@ -90,6 +92,150 @@ let run_until_halts () =
   let g = Ld_models.Edge_colouring.ec_of_simple (Gen.star 4) in
   let _, rounds = Anon_ec.run_until machine ~max_rounds:100 g in
   Alcotest.(check int) "rounds = max degree" 4 rounds
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: active-set executor vs dense reference.        *)
+
+(* A family of halting machines with staggered, state-dependent halting
+   times. The state mixes a rolling hash of everything the node reads
+   (via both [fold] and [find], so both inbox paths are exercised), so
+   any divergence in message plumbing, halting schedule or round count
+   between the two executors surfaces as a state mismatch.
+   [quota ~-1] never halts; [quota 0] is all-halted-at-round-0. *)
+type diff_st = { h : int; r : int; quota : int }
+
+let diff_quota ~quota_mod ~salt ~degree ~weight =
+  if quota_mod < 0 then max_int
+  else if quota_mod = 0 then 0
+  else (degree + salt + weight) mod quota_mod
+
+let diff_ec_machine ~salt ~quota_mod : (diff_st, int) Anon_ec.machine =
+  {
+    init =
+      (fun ~degree ~colours ->
+        let weight = List.fold_left ( + ) 0 colours in
+        {
+          h = (salt * 131) + (degree * 7) + weight;
+          r = 0;
+          quota = diff_quota ~quota_mod ~salt ~degree ~weight;
+        });
+    send = (fun s -> (s.h * 31) + s.r);
+    recv =
+      (fun s ib ->
+        let h =
+          Anon_ec.Inbox.fold
+            (fun acc ~colour m -> (acc * 1000003) lxor (colour * 7919) lxor m)
+            s.h ib
+        in
+        let h =
+          match Anon_ec.Inbox.find ib ~colour:(1 + (s.r mod 5)) with
+          | None -> h
+          | Some m -> (h * 31) lxor m
+        in
+        { s with h; r = s.r + 1 });
+    halted = (fun s -> s.r >= s.quota);
+  }
+
+let diff_po_machine ~salt ~quota_mod : (diff_st, int) Anon_po.machine =
+  {
+    init =
+      (fun ~darts ->
+        let degree = List.length darts in
+        let weight =
+          List.fold_left
+            (fun acc (k : Anon_po.dart_key) ->
+              acc + (2 * k.colour) + if k.out then 1 else 0)
+            0 darts
+        in
+        {
+          h = (salt * 131) + (degree * 7) + weight;
+          r = 0;
+          quota = diff_quota ~quota_mod ~salt ~degree ~weight;
+        });
+    send = (fun s -> (s.h * 31) + s.r);
+    recv =
+      (fun s ib ->
+        let h =
+          Anon_po.Inbox.fold
+            (fun acc ~key m ->
+              (acc * 1000003)
+              lxor ((key.colour * 7919) + if key.out then 1 else 0)
+              lxor m)
+            s.h ib
+        in
+        let h =
+          match
+            Anon_po.Inbox.find ib
+              ~key:{ out = s.r mod 2 = 0; colour = 1 + (s.r mod 5) }
+          with
+          | None -> h
+          | Some m -> (h * 31) lxor m
+        in
+        { s with h; r = s.r + 1 });
+    halted = (fun s -> s.r >= s.quota);
+  }
+
+(* quota_mod sweeps never-halts (-1), halt-at-init (0) and staggered
+   halting (1..5); max_rounds 12 keeps never-halts runs bounded. *)
+let diff_params =
+  QCheck.triple
+    (QCheck.pair (QCheck.int_range 1 9) (QCheck.int_range 0 999))
+    (QCheck.int_range (-1) 5)
+    (QCheck.int_range 0 63)
+
+let check_ec (n, seed) quota_mod salt =
+  let g = random_loopy ~seed n in
+  let m = diff_ec_machine ~salt ~quota_mod in
+  let max_rounds = 12 in
+  let act, ra = Anon_ec.run_until m ~max_rounds g in
+  let ref_, rr = Anon_ec.run_until ~reference:true m ~max_rounds g in
+  let par, rp =
+    Anon_ec.run_until ~par_threshold:0 ~domains:4 m ~max_rounds g
+  in
+  ra = rr && rp = rr && act = ref_ && par = ref_
+  && Anon_ec.run m ~rounds:5 g = Anon_ec.run ~reference:true m ~rounds:5 g
+
+let ec_active_equals_reference =
+  QCheck.Test.make ~count:60
+    ~name:"EC active-set executor = dense reference (states and rounds)"
+    diff_params
+    (fun (gp, quota_mod, salt) -> check_ec gp quota_mod salt)
+
+let check_po (n, seed) quota_mod salt =
+  let g = Po.of_ec (random_loopy ~seed n) in
+  let m = diff_po_machine ~salt ~quota_mod in
+  let max_rounds = 12 in
+  let act, ra = Anon_po.run_until m ~max_rounds g in
+  let ref_, rr = Anon_po.run_until ~reference:true m ~max_rounds g in
+  let par, rp =
+    Anon_po.run_until ~par_threshold:0 ~domains:4 m ~max_rounds g
+  in
+  ra = rr && rp = rr && act = ref_ && par = ref_
+  && Anon_po.run m ~rounds:5 g = Anon_po.run ~reference:true m ~rounds:5 g
+
+let po_active_equals_reference =
+  QCheck.Test.make ~count:60
+    ~name:"PO active-set executor = dense reference (states and rounds)"
+    diff_params
+    (fun (gp, quota_mod, salt) -> check_po gp quota_mod salt)
+
+let ec_edge_cases () =
+  let g = random_loopy ~seed:7 6 in
+  (* All halted at round 0: no rounds run, states are the initial ones. *)
+  let m0 = diff_ec_machine ~salt:3 ~quota_mod:0 in
+  let s, r = Anon_ec.run_until m0 ~max_rounds:10 g in
+  Alcotest.(check int) "halt-at-init rounds" 0 r;
+  let s_ref, r_ref = Anon_ec.run_until ~reference:true m0 ~max_rounds:10 g in
+  Alcotest.(check int) "halt-at-init rounds (reference)" 0 r_ref;
+  Alcotest.(check bool) "halt-at-init states" true (s = s_ref);
+  (* Never halts: both executors run to the round limit. *)
+  let mn = diff_ec_machine ~salt:3 ~quota_mod:(-1) in
+  let _, r = Anon_ec.run_until mn ~max_rounds:10 g in
+  let _, r_ref = Anon_ec.run_until ~reference:true mn ~max_rounds:10 g in
+  Alcotest.(check int) "never-halts rounds" 10 r;
+  Alcotest.(check int) "never-halts rounds (reference)" 10 r_ref
+
+(* ------------------------------------------------------------------ *)
 
 (* PO probe: also checks that out/in darts are distinguished. *)
 type po_probe = { po_seen : string }
@@ -106,7 +252,7 @@ let po_probe_machine : (po_probe, string) Anon_po.machine =
                    Printf.sprintf "%s%d" (if k.out then "+" else "-") k.colour)
                  darts);
         });
-    send = (fun s _ -> s.po_seen);
+    send = (fun s -> s.po_seen);
     recv =
       (fun s inbox ->
         {
@@ -115,8 +261,9 @@ let po_probe_machine : (po_probe, string) Anon_po.machine =
             ^ String.concat ";"
                 (List.map
                    (fun ((k : Anon_po.dart_key), m) ->
-                     Printf.sprintf "%s%d<%s>" (if k.out then "+" else "-") k.colour m)
-                   inbox);
+                     Printf.sprintf "%s%d<%s>" (if k.out then "+" else "-")
+                       k.colour m)
+                   (Anon_po.Inbox.to_list inbox));
         });
     halted = (fun _ -> false);
   }
@@ -187,6 +334,32 @@ let flood_min () =
   Array.iter (fun o -> Alcotest.(check int) "all learn min" 3 o) res.outputs;
   Alcotest.(check int) "rounds" 5 res.rounds
 
+let sync_staggered_halting () =
+  (* Nodes halt at different rounds (their own id), so late rounds see
+     a shrinking active frontier whose halted senders must keep
+     "sending" their frozen message. Each node floods the minimum it has
+     seen; node with halt_at=k only aggregates for k rounds. *)
+  let g = Gen.path 5 in
+  let id = Labelled.Id.create g [| 5; 1; 4; 2; 3 |] in
+  let machine =
+    {
+      flood_machine with
+      init =
+        (fun ~id ~degree ~rng:_ ->
+          { my_min = id; deg = degree; halt_at = id; round = 0 });
+    }
+  in
+  let res = Sync.run machine ~seed:0 ~max_rounds:50 id in
+  (* The id-1 node halts after round 1 with the global min; the min then
+     travels through nodes that freeze along the way (node 3 freezes at
+     round 2 holding 1, and node 4 reads that frozen message in round
+     3), so every node outputs 1 — which only works if halted senders
+     keep delivering their frozen state's message. *)
+  Alcotest.(check int) "rounds = max halt_at" 5 res.rounds;
+  Alcotest.(check (list int)) "outputs"
+    [ 1; 1; 1; 1; 1 ]
+    (Array.to_list res.outputs)
+
 let sync_reports_nonhalting () =
   let g = Gen.path 2 in
   let id = Labelled.Id.trivial g in
@@ -205,16 +378,20 @@ let () =
           QCheck_alcotest.to_alcotest reflection_agrees_with_lift;
           QCheck_alcotest.to_alcotest state_determined_by_view;
           Alcotest.test_case "run_until" `Quick run_until_halts;
+          QCheck_alcotest.to_alcotest ec_active_equals_reference;
+          Alcotest.test_case "differential edge cases" `Quick ec_edge_cases;
         ] );
       ( "anon_po",
         [
           Alcotest.test_case "loop reflection" `Quick po_loop_reflection;
           QCheck_alcotest.to_alcotest po_reflection_agrees_with_lift;
           Alcotest.test_case "orientation" `Quick po_orientation_matters;
+          QCheck_alcotest.to_alcotest po_active_equals_reference;
         ] );
       ( "sync",
         [
           Alcotest.test_case "flood min" `Quick flood_min;
+          Alcotest.test_case "staggered halting" `Quick sync_staggered_halting;
           Alcotest.test_case "non-halting detected" `Quick sync_reports_nonhalting;
         ] );
     ]
