@@ -426,7 +426,8 @@ let bechamel_pass () =
         collected := (name, t) :: !collected
       | _ -> row "  %-42s (no estimate)\n" name)
     results;
-  List.sort compare !collected
+  (* Benchmark names are unique Hashtbl keys, so ordering by name is total. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !collected
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable dump of the headline experiment: one object per
@@ -447,15 +448,18 @@ let json_escape s =
    BENCH_THM1.json identifies the code and machine shape it came from. *)
 let git_commit () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  (* ld-lint: allow exn-swallow — best-effort probe, absence of git is fine *)
   | exception _ -> None
   | ic -> (
     let line = try input_line ic with End_of_file -> "" in
     match Unix.close_process_in ic with
     | Unix.WEXITED 0 when line <> "" -> Some (String.trim line)
     | _ -> None
+    (* ld-lint: allow exn-swallow — best-effort probe, absence of git is fine *)
     | exception _ -> None)
 
 let iso8601 t =
+  (* ld-lint: allow nondet-source — wall-clock metadata for the artefact *)
   let tm = Unix.gmtime t in
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
@@ -470,6 +474,7 @@ let emit_json ~path ~rows ~timings =
     (Printf.sprintf "    \"git_commit\": \"%s\",\n"
        (json_escape (Option.value ~default:"unknown" (git_commit ()))));
   add (Printf.sprintf "    \"domains\": %d,\n" (Pool.default_domains ()));
+  (* ld-lint: allow nondet-source — wall-clock metadata for the artefact *)
   add (Printf.sprintf "    \"timestamp\": \"%s\"\n" (iso8601 (Unix.time ())));
   add "  },\n";
   add "  \"rows\": [\n";

@@ -7,6 +7,7 @@
      ld factor     compute a factor graph and loopiness
      ld order      sort tree addresses by the Appendix A canonical order
      ld stats      run the adversary and print the observability summary
+     ld lint       run the determinism/exactness static analyzer
 
    Every subcommand honours the global --trace FILE (Chrome trace-event
    export of the run, tid = domain) and -v/--verbosity (Logs). *)
@@ -470,6 +471,53 @@ let stats_cmd =
           the span/counter summary table.")
     Term.(const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree)
 
+(* ---- lint ---- *)
+
+let lint common json list_rules paths =
+  with_common common @@ fun () ->
+  if list_rules then begin
+    Format.printf "%a" Ld_lint.Driver.pp_rules ();
+    0
+  end
+  else begin
+    let paths =
+      match paths with
+      | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "test"; "bench"; "examples" ]
+      | ps -> ps
+    in
+    let diags = Ld_lint.Driver.lint_paths paths in
+    Ld_lint.Driver.report ~json Format.std_formatter diags
+  end
+
+let lint_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout.")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (default: lib bin test bench \
+             examples). Directories are walked recursively; _build and \
+             test/lint_fixtures are skipped.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the ld-lint determinism/exactness/domain-safety static \
+          analyzer over OCaml sources. Exits 1 if any violation is found. \
+          Suppress a finding with a (* ld-lint: allow <rule> *) comment on \
+          the same or preceding line.")
+    Term.(const lint $ common_term $ json $ list_rules $ paths)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "ld" ~version:"1.0.0"
@@ -477,6 +525,6 @@ let main_cmd =
          "Linear-in-Delta lower bounds in the LOCAL model — executable \
           reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
     [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
-      certify_cmd; verify_cmd; stats_cmd ]
+      certify_cmd; verify_cmd; stats_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

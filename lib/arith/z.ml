@@ -42,14 +42,14 @@ let sign t = t.sign
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else begin
-    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Int.compare a.(i) b.(i) else go (i - 1) in
     go (la - 1)
   end
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then compare_mag a.mag b.mag
   else compare_mag b.mag a.mag
 

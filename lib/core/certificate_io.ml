@@ -121,7 +121,7 @@ type check = {
 
 let check_ok c =
   c.chk_structure && c.chk_views && c.chk_weights_differ
-  && c.chk_outputs <> Some false
+  && (match c.chk_outputs with Some false -> false | Some true | None -> true)
 
 let is_tree_plus_loops g =
   let module Gr = Ld_graph.Graph in

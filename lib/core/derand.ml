@@ -18,7 +18,7 @@ let all_graphs_on k =
   List.map (fun es -> G.create k es) (subsets !pairs)
 
 let all_id_graphs ids =
-  let ids = List.sort_uniq compare ids in
+  let ids = List.sort_uniq Int.compare ids in
   List.concat_map
     (fun subset ->
       match subset with

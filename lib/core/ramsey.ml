@@ -8,7 +8,7 @@ let rec subsets k list =
       List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
 
 let monochromatic_subset ~universe ~arity ~colour ~size =
-  let universe = List.sort_uniq compare universe in
+  let universe = List.sort_uniq Int.compare universe in
   if size < arity then invalid_arg "Ramsey.monochromatic_subset: size < arity";
   (* Backtracking: grow a candidate subset; whenever it reaches [arity]
      elements the colour of every new tuple must match the first one. *)
@@ -24,7 +24,7 @@ let monochromatic_subset ~universe ~arity ~colour ~size =
             if List.length chosen' < arity then []
             else
               List.map
-                (fun s -> List.sort compare (x :: s))
+                (fun s -> List.sort Int.compare (x :: s))
                 (subsets (arity - 1) (List.rev chosen))
           in
           let target', ok =
@@ -57,11 +57,11 @@ let order_invariant_identifiers ~universe ~nodes ~indicator ~size =
   monochromatic_subset ~universe ~arity:nodes ~colour ~size
 
 let sparsify ~gap ids =
-  let ids = List.sort_uniq compare ids in
+  let ids = List.sort_uniq Int.compare ids in
   List.filteri (fun i _ -> i mod (gap + 1) = 0) ids
 
 let relabelling_stable ~ids ~nodes ~run ~equal =
-  let assignments = subsets nodes (List.sort_uniq compare ids) in
+  let assignments = subsets nodes (List.sort_uniq Int.compare ids) in
   match List.map (fun a -> run (Array.of_list a)) assignments with
   | [] -> true
   | first :: rest -> List.for_all (equal first) rest

@@ -27,4 +27,4 @@ let factor g =
 
 let is_own_factor g =
   let cls = Refinement.stable_partition_ec g in
-  List.length (List.sort_uniq compare (Array.to_list cls)) = Ec.n g
+  List.length (List.sort_uniq Int.compare (Array.to_list cls)) = Ec.n g

@@ -16,6 +16,10 @@ let is_covering { total; base; map } =
      enough that at every total node the colour set matches the base
      node's colour set and every dart's target projects correctly. *)
   begin
+    let pair_compare (a1, a2) (b1, b2) =
+      let c = Int.compare a1 b1 in
+      if c <> 0 then c else Int.compare a2 b2
+    in
     let ok = ref true in
     for v = 0 to Ec.n total - 1 do
       let total_sig =
@@ -34,7 +38,13 @@ let is_covering { total; base; map } =
             | Ec.Into_loop { colour; _ } -> (colour, map.(v)))
           (Ec.darts base map.(v))
       in
-      if List.sort compare total_sig <> List.sort compare base_sig then ok := false
+      if
+        not
+          (List.equal
+             (fun x y -> pair_compare x y = 0)
+             (List.sort pair_compare total_sig)
+             (List.sort pair_compare base_sig))
+      then ok := false
     done;
     !ok
   end

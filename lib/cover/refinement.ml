@@ -20,6 +20,12 @@ let c_intern_misses = Obs.Counter.make "cover.refine.intern_misses"
    Kept verbatim as the differential-testing oracle for the flat path
    below (exposed through [~reference:true]). *)
 
+(* Lexicographic on int pairs: same order as the polymorphic compare the
+   reference path historically used, so interned labels are unchanged. *)
+let pair_compare (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
 let refine_generic_reference ~n ~(darts : int -> (int * int) list) ~rounds =
   let history = Array.make (rounds + 1) [||] in
   history.(0) <- Array.make n 0;
@@ -29,7 +35,8 @@ let refine_generic_reference ~n ~(darts : int -> (int * int) list) ~rounds =
     let next = Array.make n 0 in
     for v = 0 to n - 1 do
       let descriptor =
-        (prev.(v), List.sort compare (List.map (fun (k, u) -> (k, prev.(u))) (darts v)))
+        ( prev.(v),
+          List.sort pair_compare (List.map (fun (k, u) -> (k, prev.(u))) (darts v)) )
       in
       let label =
         match Hashtbl.find_opt intern descriptor with

@@ -2,6 +2,9 @@ module Ec = Ld_models.Ec
 
 type t = { branches : (int * t) list }
 
+let banned_is banned colour =
+  match banned with Some c -> c = colour | None -> false
+
 let of_ec g root ~radius =
   if radius < 0 then invalid_arg "View.of_ec: negative radius";
   let rec unfold v banned depth =
@@ -10,10 +13,10 @@ let of_ec g root ~radius =
       let follow dart =
         match dart with
         | Ec.To_neighbour { neighbour; colour; _ } ->
-          if Some colour = banned then None
+          if banned_is banned colour then None
           else Some (colour, unfold neighbour (Some colour) (depth - 1))
         | Ec.Into_loop { colour; _ } ->
-          if Some colour = banned then None
+          if banned_is banned colour then None
           else Some (colour, unfold v (Some colour) (depth - 1))
       in
       { branches = List.filter_map follow (Ec.darts g v) }
@@ -34,7 +37,7 @@ let rec compare a b =
   | [], _ :: _ -> -1
   | _ :: _, [] -> 1
   | (ca, ta) :: ra, (cb, tb) :: rb ->
-    let c = Stdlib.compare ca cb in
+    let c = Int.compare ca cb in
     if c <> 0 then c
     else begin
       let c = compare ta tb in

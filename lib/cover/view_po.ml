@@ -8,6 +8,12 @@ let key_of_dart = function
   | Po.Out { colour; _ } | Po.Loop_out { colour; _ } -> { out = true; colour }
   | Po.In { colour; _ } | Po.Loop_in { colour; _ } -> { out = false; colour }
 
+(* Field order (out, colour) matches the record declaration, so this is
+   the same total order the polymorphic compare used to give. *)
+let key_compare a b =
+  let c = Bool.compare a.out b.out in
+  if c <> 0 then c else Int.compare a.colour b.colour
+
 (* The node at a dart's other end, together with the arrival dart key
    over there. Loops lead to a fiber copy of the node itself. *)
 let cross v = function
@@ -23,13 +29,19 @@ let of_po g root ~radius =
     else begin
       let follow dart =
         let key = key_of_dart dart in
-        if Some key = banned then None
+        let is_banned =
+          match banned with Some k -> key_compare k key = 0 | None -> false
+        in
+        if is_banned then None
         else begin
           let target, arrival = cross v dart in
           Some (key, unfold target (Some arrival) (depth - 1))
         end
       in
-      { branches = List.sort compare (List.filter_map follow (Po.darts g v)) }
+      (* Keys are unique among a node's darts, so sorting by key alone is
+         the same total order the polymorphic sort used to give. *)
+      let by_key (ka, _) (kb, _) = key_compare ka kb in
+      { branches = List.sort by_key (List.filter_map follow (Po.darts g v)) }
     end
   in
   unfold root None radius
@@ -38,7 +50,9 @@ let rec equal a b =
   match (a.branches, b.branches) with
   | [], [] -> true
   | (ka, ta) :: ra, (kb, tb) :: rb ->
-    ka = kb && equal ta tb && equal { branches = ra } { branches = rb }
+    key_compare ka kb = 0
+    && equal ta tb
+    && equal { branches = ra } { branches = rb }
   | _ -> false
 
 let rec size v = 1 + List.fold_left (fun acc (_, t) -> acc + size t) 0 v.branches

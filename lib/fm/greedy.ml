@@ -2,13 +2,27 @@ module Ec = Ld_models.Ec
 module G = Ld_graph.Graph
 module Q = Ld_arith.Q
 
+(* Any total order works here — both sides of the permutation check are
+   sorted with the same comparator, so only multiset equality matters. *)
+let item_compare a b =
+  match (a, b) with
+  | `Edge i, `Edge j | `Loop i, `Loop j -> Int.compare i j
+  | `Edge _, `Loop _ -> -1
+  | `Loop _, `Edge _ -> 1
+
+let item_equal a b = item_compare a b = 0
+
 let maximal_fm_in_order g order =
   let expected =
     List.init (Ec.num_edges g) (fun i -> `Edge i)
     @ List.init (Ec.num_loops g) (fun i -> `Loop i)
   in
-  if List.sort compare order <> List.sort compare expected then
-    invalid_arg "Greedy.maximal_fm_in_order: order is not a permutation";
+  if
+    not
+      (List.equal item_equal
+         (List.sort item_compare order)
+         (List.sort item_compare expected))
+  then invalid_arg "Greedy.maximal_fm_in_order: order is not a permutation";
   let slack = Array.make (Ec.n g) Q.one in
   let edge_w = Array.make (Ec.num_edges g) Q.zero in
   let loop_w = Array.make (Ec.num_loops g) Q.zero in

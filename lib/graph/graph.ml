@@ -15,7 +15,7 @@ let create n edge_list =
     adj.(v) <- u :: adj.(v)
   in
   List.iter add_edge edge_list;
-  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  Array.iteri (fun i l -> adj.(i) <- List.sort Int.compare l) adj;
   { n; adj; m = List.length edge_list }
 
 let n g = g.n
@@ -86,7 +86,7 @@ let disjoint_union g1 g2 =
   create (g1.n + g2.n) (edges g1 @ edges2)
 
 let induced g nodes =
-  let nodes = List.sort_uniq compare nodes in
+  let nodes = List.sort_uniq Int.compare nodes in
   let old_of_new = Array.of_list nodes in
   let new_of_old = Hashtbl.create (Array.length old_of_new) in
   Array.iteri (fun i v -> Hashtbl.add new_of_old v i) old_of_new;

@@ -55,4 +55,4 @@ let average_degree g =
   else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
 
 let degree_sequence g =
-  List.sort compare (List.init (Graph.n g) (Graph.degree g))
+  List.sort Int.compare (List.init (Graph.n g) (Graph.degree g))

@@ -1,0 +1,102 @@
+(* File discovery, parsing, rule dispatch, suppression filtering and
+   rendering. The library entry point used by both `ld lint` and
+   test/test_lint.ml. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Directories never descended into when walking. [lint_fixtures]
+   holds deliberately-dirty snippets for test_lint.ml; fixture files
+   are still linted when named explicitly. *)
+let skip_dirs = [ "_build"; "_opam"; ".git"; "lint_fixtures"; "node_modules" ]
+
+let rec collect acc path =
+  if (not (Sys.file_exists path)) || not (Sys.is_directory path) then
+    if Filename.check_suffix path ".ml" then path :: acc else acc
+  else
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           let sub = Filename.concat path entry in
+           if Sys.is_directory sub then
+             if List.mem entry skip_dirs then acc else collect acc sub
+           else if Filename.check_suffix entry ".ml" then sub :: acc
+           else acc)
+         acc
+
+let parse_structure ~file content =
+  let lexbuf = Lexing.from_string content in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let dedup_sorted ds =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if Diagnostic.equal a b then go rest else a :: go rest
+    | l -> l
+  in
+  go (List.sort Diagnostic.compare ds)
+
+(* Lint one file with [rules], honouring suppression comments. A file
+   that fails to parse yields a single parse-error diagnostic — the
+   linter never aborts the whole run on one bad file. *)
+let lint_file ?(rules = Rules.all) file =
+  let content = read_file file in
+  match parse_structure ~file content with
+  | exception e ->
+    let line, msg =
+      match e with
+      | Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        (loc.Location.loc_start.Lexing.pos_lnum, "syntax error")
+      | e -> (1, Printexc.to_string e)
+    in
+    [
+      {
+        Diagnostic.file;
+        line;
+        col = 0;
+        rule = "parse-error";
+        severity = Diagnostic.Error;
+        message = msg;
+      };
+    ]
+  | str ->
+    let suppress = Suppress.of_source content in
+    List.concat_map (fun (r : Rules.rule) -> r.check ~file str) rules
+    |> List.filter (fun (d : Diagnostic.t) ->
+           not (Suppress.allowed suppress ~rule:d.rule ~line:d.line))
+    |> dedup_sorted
+
+let lint_paths ?rules paths =
+  List.fold_left collect [] paths
+  |> List.sort_uniq String.compare
+  |> List.concat_map (lint_file ?rules)
+  |> dedup_sorted
+
+let has_errors ds =
+  List.exists (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) ds
+
+(* Render to [fmt]; returns the exit code (0 clean, 1 violations). *)
+let report ~json fmt diags =
+  if json then Format.fprintf fmt "%s" (Diagnostic.list_to_json diags)
+  else begin
+    List.iter (fun d -> Format.fprintf fmt "%a@." Diagnostic.pp d) diags;
+    let errors =
+      List.length
+        (List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) diags)
+    in
+    if errors > 0 then
+      Format.fprintf fmt "ld-lint: %d violation%s@." errors
+        (if errors = 1 then "" else "s")
+    else Format.fprintf fmt "ld-lint: no violations@."
+  end;
+  if has_errors diags then 1 else 0
+
+let pp_rules fmt () =
+  List.iter
+    (fun (r : Rules.rule) ->
+      Format.fprintf fmt "@[<v 2>%s [%s]@,@[<hov>%a@]@]@.@." r.id
+        (Diagnostic.severity_to_string r.severity)
+        Format.pp_print_text r.doc)
+    Rules.all

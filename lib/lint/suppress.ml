@@ -1,0 +1,81 @@
+(* Suppression comments.
+
+   A diagnostic can be silenced at the offending site:
+
+     (* ld-lint: allow poly-compare *)          silences that rule on
+                                                this line and the next
+     (* ld-lint: allow-file domain-safety *)    silences the rule for
+                                                the whole file
+     (* ld-lint: allow all *)                   silences every rule on
+                                                this line and the next
+
+   The scanner is line-based and purely textual — the OCaml parser
+   discards comments, so suppressions are recovered from the source
+   text before the AST pass runs. Several rule ids may follow a single
+   [allow]. *)
+
+type t = {
+  file_allows : (string, unit) Hashtbl.t; (* rule id (or "all") *)
+  line_allows : (int * string, unit) Hashtbl.t; (* (line, rule id or "all") *)
+}
+
+let marker = "ld-lint:"
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+(* Tokens after the marker, stopping at the comment closer. *)
+let directive_tokens rest =
+  let rest =
+    match String.index_opt rest '*' with
+    | Some i when i + 1 < String.length rest && rest.[i + 1] = ')' ->
+      String.sub rest 0 i
+    | _ -> rest
+  in
+  String.split_on_char ' ' rest
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else if String.for_all is_rule_char tok then Some tok
+         else None)
+
+let of_source content =
+  let t = { file_allows = Hashtbl.create 4; line_allows = Hashtbl.create 8 } in
+  let lines = String.split_on_char '\n' content in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match
+        (* find the marker anywhere on the line *)
+        let mlen = String.length marker in
+        let llen = String.length line in
+        let rec find j =
+          if j + mlen > llen then None
+          else if String.sub line j mlen = marker then Some (j + mlen)
+          else find (j + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some start -> (
+        let rest = String.sub line start (String.length line - start) in
+        match directive_tokens rest with
+        | "allow" :: rules ->
+          List.iter
+            (fun r -> Hashtbl.replace t.line_allows (lineno, r) ())
+            rules
+        | "allow-file" :: rules ->
+          List.iter (fun r -> Hashtbl.replace t.file_allows r ()) rules
+        | _ -> ()))
+    lines;
+  t
+
+(* An [allow] on line L covers findings on L (trailing comment) and
+   L+1 (comment on its own line above the offender). *)
+let allowed t ~rule ~line =
+  let hit tbl k = Hashtbl.mem tbl k in
+  hit t.file_allows rule || hit t.file_allows "all"
+  || hit t.line_allows (line, rule)
+  || hit t.line_allows (line, "all")
+  || (line > 1 && (hit t.line_allows (line - 1, rule) || hit t.line_allows (line - 1, "all")))

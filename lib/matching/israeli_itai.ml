@@ -22,6 +22,8 @@ let pick_random rng = function
   | [] -> None
   | ports -> Some (List.nth ports (Random.State.int rng (List.length ports)))
 
+let port_is opt port = match opt with Some p -> p = port | None -> false
+
 let machine : (st, msg, int option) Sync.machine =
   {
     init =
@@ -42,8 +44,8 @@ let machine : (st, msg, int option) Sync.machine =
         Some
           {
             m_matched = s.matched_port <> None;
-            m_propose = s.phase = Propose && s.proposal_port = Some port;
-            m_accept = s.phase = Respond && s.accept_port = Some port;
+            m_propose = s.phase = Propose && port_is s.proposal_port port;
+            m_accept = s.phase = Respond && port_is s.accept_port port;
           });
     recv =
       (fun s inbox ->
@@ -71,7 +73,7 @@ let machine : (st, msg, int option) Sync.machine =
                   match msgs.(p) with
                   | Some m -> m.m_propose && not m.m_matched
                   | None -> false)
-                (List.sort compare live)
+                (List.sort Int.compare live)
           in
           { s with live; phase = Respond; accept_port }
         | Respond ->
@@ -129,7 +131,7 @@ let run ~seed ~max_rounds idg =
       match m with
       | None -> ()
       | Some w ->
-        if mate.(w) <> Some v then
+        if not (port_is mate.(w) v) then
           failwith "Israeli_itai: asymmetric matching (protocol bug)")
     mate;
   { mate; rounds = res.rounds }
@@ -137,7 +139,7 @@ let run ~seed ~max_rounds idg =
 let is_maximal g r =
   Array.for_all Fun.id
     (Array.mapi
-       (fun v m -> match m with None -> true | Some w -> r.mate.(w) = Some v)
+       (fun v m -> match m with None -> true | Some w -> port_is r.mate.(w) v)
        r.mate)
   && List.for_all
        (fun (u, v) -> r.mate.(u) <> None || r.mate.(v) <> None)

@@ -42,14 +42,14 @@ let greedy ?truncate g =
   in
   let states = Anon.run machine ~rounds g in
   let matched_colour = Array.map (fun s -> s.matched) states in
+  let matched_with v c =
+    match matched_colour.(v) with Some c' -> c' = c | None -> false
+  in
   let matched_edges =
     List.concat
       (List.mapi
          (fun id (e : Ec.edge) ->
-           if
-             matched_colour.(e.u) = Some e.colour
-             && matched_colour.(e.v) = Some e.colour
-           then [ id ]
+           if matched_with e.u e.colour && matched_with e.v e.colour then [ id ]
            else [])
          (Ec.edges g))
   in
@@ -57,7 +57,7 @@ let greedy ?truncate g =
     List.concat
       (List.mapi
          (fun id (l : Ec.loop) ->
-           if matched_colour.(l.node) = Some l.colour then [ id ] else [])
+           if matched_with l.node l.colour then [ id ] else [])
          (Ec.loops g))
   in
   { matched_edges; matched_loops; matched_colour; rounds }

@@ -92,7 +92,10 @@ let machine ~delta ~sched : (st, msg, int option) Sync.machine =
               {
                 blank_msg with
                 mmatched = s.matched <> None;
-                maccept = s.accept_port = Some port;
+                maccept =
+                  (match s.accept_port with
+                  | Some p -> p = port
+                  | None -> false);
               }));
     recv =
       (fun s inbox ->
@@ -241,7 +244,7 @@ let run idg =
       match m with
       | None -> ()
       | Some w ->
-        if mate.(w) <> Some v then
+        if not (match mate.(w) with Some x -> x = v | None -> false) then
           failwith "Panconesi_rizzi: asymmetric matching (protocol bug)")
     mate;
   { mate; rounds = res.rounds; cv_iterations = Cv.iterations_for_bits id_bits }
@@ -249,7 +252,10 @@ let run idg =
 let is_maximal g r =
   Array.for_all Fun.id
     (Array.mapi
-       (fun v m -> match m with None -> true | Some w -> r.mate.(w) = Some v)
+       (fun v m ->
+         match m with
+         | None -> true
+         | Some w -> ( match r.mate.(w) with Some x -> x = v | None -> false))
        r.mate)
   && List.for_all
        (fun (u, v) -> r.mate.(u) <> None || r.mate.(v) <> None)

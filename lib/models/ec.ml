@@ -75,7 +75,7 @@ let build n edges loops =
     loops;
   Array.iteri
     (fun v ds ->
-      let sorted = List.sort (fun a b -> compare (dart_colour a) (dart_colour b)) ds in
+      let sorted = List.sort (fun a b -> Int.compare (dart_colour a) (dart_colour b)) ds in
       let rec check = function
         | a :: (b :: _ as rest) ->
           if dart_colour a = dart_colour b then
@@ -224,13 +224,29 @@ let to_simple g =
 let canonical_edge e =
   (Stdlib.min e.u e.v, Stdlib.max e.u e.v, e.colour)
 
+(* Lexicographic on int triples/pairs: same order as polymorphic compare. *)
+let triple_compare (a1, a2, a3) (b1, b2, b3) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c else Int.compare a3 b3
+
+let pair_compare (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
 let equal a b =
   a == b
   || a.n = b.n
-  && List.sort compare (List.map canonical_edge (edges a))
-     = List.sort compare (List.map canonical_edge (edges b))
-  && List.sort compare (List.map (fun l -> (l.node, l.colour)) (loops a))
-     = List.sort compare (List.map (fun l -> (l.node, l.colour)) (loops b))
+  && List.equal
+       (fun x y -> triple_compare x y = 0)
+       (List.sort triple_compare (List.map canonical_edge (edges a)))
+       (List.sort triple_compare (List.map canonical_edge (edges b)))
+  && List.equal
+       (fun x y -> pair_compare x y = 0)
+       (List.sort pair_compare (List.map (fun l -> (l.node, l.colour)) (loops a)))
+       (List.sort pair_compare (List.map (fun l -> (l.node, l.colour)) (loops b)))
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>ec-graph n=%d@," g.n;

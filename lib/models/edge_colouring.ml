@@ -21,7 +21,7 @@ let greedy g =
     | None -> invalid_arg "Edge_colouring.greedy: not an edge"
 
 let num_colours g colour =
-  List.sort_uniq compare (List.map colour (G.edges g)) |> List.length
+  List.sort_uniq Int.compare (List.map colour (G.edges g)) |> List.length
 
 let is_proper g colour =
   let ok = ref true in
@@ -29,7 +29,7 @@ let is_proper g colour =
     let cs =
       List.map (fun w -> colour (Stdlib.min v w, Stdlib.max v w)) (G.neighbours g v)
     in
-    if List.length (List.sort_uniq compare cs) <> List.length cs then ok := false
+    if List.length (List.sort_uniq Int.compare cs) <> List.length cs then ok := false
   done;
   !ok
 

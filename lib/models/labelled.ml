@@ -7,7 +7,7 @@ module Id = struct
     if Array.length ids <> G.n graph then invalid_arg "Id.create: wrong length";
     Array.iter (fun i -> if i < 0 then invalid_arg "Id.create: negative id") ids;
     let sorted = Array.copy ids in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     for i = 1 to Array.length sorted - 1 do
       if sorted.(i) = sorted.(i - 1) then invalid_arg "Id.create: duplicate id"
     done;
@@ -40,7 +40,7 @@ module Oi = struct
   let of_id (id : Id.t) =
     let g = Id.graph id in
     let order = Array.init (G.n g) Fun.id in
-    Array.sort (fun u v -> compare (Id.id id u) (Id.id id v)) order;
+    Array.sort (fun u v -> Int.compare (Id.id id u) (Id.id id v)) order;
     let rank = Array.make (G.n g) 0 in
     Array.iteri (fun pos v -> rank.(v) <- pos) order;
     { graph = g; rank }
@@ -48,7 +48,7 @@ module Oi = struct
   let assign t ids =
     if Array.length ids <> G.n t.graph then invalid_arg "Oi.assign: wrong length";
     let sorted = Array.copy ids in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     for i = 1 to Array.length sorted - 1 do
       if sorted.(i) = sorted.(i - 1) then invalid_arg "Oi.assign: duplicate id"
     done;

@@ -94,7 +94,7 @@ let build n arcs loops =
     loops;
   let darts = Array.make n [] in
   let by_colour side v ds =
-    let sorted = List.sort (fun a b -> compare (dart_colour a) (dart_colour b)) ds in
+    let sorted = List.sort (fun a b -> Int.compare (dart_colour a) (dart_colour b)) ds in
     let rec check = function
       | a :: (b :: _ as rest) ->
         if dart_colour a = dart_colour b then
@@ -197,12 +197,28 @@ let of_ec ec =
   let loops = List.map (fun (l : Ec.loop) -> (l.node, l.colour)) (Ec.loops ec) in
   create ~n:(Ec.n ec) ~arcs ~loops
 
+(* Lexicographic on int triples/pairs: same order as polymorphic compare. *)
+let triple_compare (a1, a2, a3) (b1, b2, b3) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c else Int.compare a3 b3
+
+let pair_compare (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
 let equal a b =
   a.n = b.n
-  && List.sort compare (List.map (fun x -> (x.tail, x.head, x.colour)) (arcs a))
-     = List.sort compare (List.map (fun x -> (x.tail, x.head, x.colour)) (arcs b))
-  && List.sort compare (List.map (fun (l : loop) -> (l.node, l.colour)) (loops a))
-     = List.sort compare (List.map (fun (l : loop) -> (l.node, l.colour)) (loops b))
+  && List.equal
+       (fun x y -> triple_compare x y = 0)
+       (List.sort triple_compare (List.map (fun x -> (x.tail, x.head, x.colour)) (arcs a)))
+       (List.sort triple_compare (List.map (fun x -> (x.tail, x.head, x.colour)) (arcs b)))
+  && List.equal
+       (fun x y -> pair_compare x y = 0)
+       (List.sort pair_compare (List.map (fun (l : loop) -> (l.node, l.colour)) (loops a)))
+       (List.sort pair_compare (List.map (fun (l : loop) -> (l.node, l.colour)) (loops b)))
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>po-graph n=%d@," g.n;

@@ -116,7 +116,8 @@ let counters () =
     Hashtbl.fold (fun name c acc -> (name, Counter.value c) :: acc) Counter.table []
   in
   Mutex.unlock Counter.table_lock;
-  List.sort compare all
+  (* Names are unique Hashtbl keys, so ordering by name is total. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 let buffers_snapshot () =
   Mutex.lock registry_lock;

@@ -16,7 +16,7 @@ let per_domain () =
       if e.ev_phase = Obs.B && e.ev_name = "core.pool.task" then incr tasks)
     (Obs.events ());
   Hashtbl.fold (fun tid (evs, tasks) acc -> (tid, !evs, !tasks) :: acc) by_tid []
-  |> List.sort compare
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
 
 let pp fmt () =
   let spans = Obs.span_totals () in

@@ -35,7 +35,7 @@ let to_string () =
     Buffer.add_string buf "\n";
     Buffer.add_string buf s
   in
-  let tids = List.sort_uniq compare (List.map (fun e -> e.Obs.ev_tid) events) in
+  let tids = List.sort_uniq Int.compare (List.map (fun e -> e.Obs.ev_tid) events) in
   List.iter
     (fun tid ->
       emit

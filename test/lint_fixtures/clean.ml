@@ -1,0 +1,10 @@
+(* Fixture: idiomatic code, zero diagnostics expected. *)
+
+let sorted xs = List.sort Int.compare xs
+let rng = Random.State.make [| 42; 7 |]
+let roll () = Random.State.int rng 6
+let total xs = List.fold_left ( + ) 0 xs
+let step s = s + 1
+
+let careful f =
+  match f () with v -> Some v | exception Invalid_argument _ -> None

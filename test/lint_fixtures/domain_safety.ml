@@ -1,0 +1,29 @@
+(* Fixture: every diagnostic in this file must be domain-safety. *)
+
+let hits = ref 0
+
+let tally xs =
+  Pool.map
+    (fun x ->
+      incr hits;
+      x + !hits)
+    xs
+
+let scatter arr jobs =
+  Pool.mapi
+    (fun i job ->
+      arr.(i) <- job;
+      job)
+    jobs
+
+let spawned table =
+  Domain.spawn (fun () -> Hashtbl.replace table "k" 1)
+
+(* State created inside the task body is fine: no diagnostic here. *)
+let local_state xs =
+  Pool.map
+    (fun x ->
+      let acc = ref 0 in
+      acc := x;
+      !acc)
+    xs

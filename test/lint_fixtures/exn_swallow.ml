@@ -1,0 +1,8 @@
+(* Fixture: every diagnostic in this file must be exn-swallow. *)
+
+let safe f = try f () with _ -> 0
+
+let guarded g = match g () with v -> v | exception _ -> -1
+
+(* Matching a specific exception is fine: no diagnostic here. *)
+let specific h = try h () with Not_found -> 0

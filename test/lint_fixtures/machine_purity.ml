@@ -1,0 +1,25 @@
+(* Fixture: every diagnostic in this file must be machine-purity. *)
+
+let trace = ref []
+
+let step s =
+  print_endline "tick";
+  trace := s :: !trace;
+  s + 1
+
+type machine = { step : int -> int; send : int -> int }
+
+let m =
+  {
+    step =
+      (fun s ->
+        Printf.printf "%d" s;
+        s);
+    send =
+      (fun s ->
+        trace := s :: !trace;
+        s);
+  }
+
+(* A pure transition is fine: no diagnostic here. *)
+let pure_send s = s + 1

@@ -1,0 +1,6 @@
+(* Fixture: every diagnostic in this file must be nondet-source. *)
+
+let roll () = Random.int 6
+let reseed () = Random.self_init ()
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

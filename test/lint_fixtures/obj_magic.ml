@@ -1,0 +1,4 @@
+(* Fixture: every diagnostic in this file must be obj-magic. *)
+
+let cast (x : int) : string = Obj.magic x
+let boxed v = Obj.repr v

@@ -1,0 +1,7 @@
+(* Fixture: every diagnostic in this file must be poly-compare. *)
+
+let sorted xs = List.sort compare xs
+let as_pairs a b = (a, 0) = (b, 1)
+let hashed v = Hashtbl.hash v
+let explicit = Stdlib.compare
+let lists_differ xs ys = List.map succ xs <> List.map succ ys

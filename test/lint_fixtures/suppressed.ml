@@ -1,0 +1,7 @@
+(* Fixture: real violations, all acknowledged — zero diagnostics expected. *)
+
+(* ld-lint: allow poly-compare *)
+let sorted xs = List.sort compare xs
+
+(* ld-lint: allow nondet-source — timestamp used as a log label only *)
+let now () = Unix.gettimeofday ()

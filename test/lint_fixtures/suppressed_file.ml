@@ -1,0 +1,5 @@
+(* ld-lint: allow-file poly-compare *)
+(* Fixture: the whole file opts out of poly-compare — zero diagnostics. *)
+
+let sorted xs = List.sort compare xs
+let later ys = List.sort_uniq compare ys

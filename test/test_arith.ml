@@ -15,7 +15,7 @@ let z_matches_native =
       && Z.to_int (Z.mul za zb) = a * b
       && (b = 0
          || Z.to_int (Z.div za zb) = a / b && Z.to_int (Z.rem za zb) = a mod b)
-      && Z.compare za zb = compare a b)
+      && Z.compare za zb = Int.compare a b)
 
 let z_string_roundtrip =
   QCheck.Test.make ~count:500 ~name:"Z decimal round-trip" small_int (fun a ->

@@ -121,7 +121,7 @@ let pr_with_arbitrary_ids =
     (fun (n, seed) ->
       let g = Gen.random_bounded_degree ~seed n 4 in
       let ids = Array.init n (fun v -> 100000 + (((v * 7919) + seed) mod 899999)) in
-      let ids = Array.of_list (List.sort_uniq compare (Array.to_list ids)) in
+      let ids = Array.of_list (List.sort_uniq Int.compare (Array.to_list ids)) in
       QCheck.assume (Array.length ids = n);
       let r = PR.run (Id.create g ids) in
       PR.is_maximal g r)

@@ -23,14 +23,15 @@ let ec_loop_degree () =
   Alcotest.(check int) "deg 1" 2 (Ec.degree g 1);
   Alcotest.(check int) "max colour" 3 (Ec.max_colour g);
   Alcotest.(check int) "min loops" 1 (Ec.min_loops g);
-  Alcotest.(check (list int)) "loops at 0" [ 0; 1 ] (List.sort compare (Ec.loops_at g 0))
+  Alcotest.(check (list int)) "loops at 0" [ 0; 1 ]
+    (List.sort Int.compare (Ec.loops_at g 0))
 
 let ec_remove_loop () =
   let g = Ec.create ~n:1 ~edges:[] ~loops:[ (0, 1); (0, 2); (0, 3) ] in
   let h = Ec.remove_loop g 1 in
   Alcotest.(check int) "loops left" 2 (Ec.num_loops h);
   Alcotest.(check (list int)) "colours left" [ 1; 3 ]
-    (List.sort compare (List.map (fun (l : Ec.loop) -> l.colour) (Ec.loops h)))
+    (List.sort Int.compare (List.map (fun (l : Ec.loop) -> l.colour) (Ec.loops h)))
 
 let ec_union_and_simple () =
   let a = Ec.create ~n:2 ~edges:[ (0, 1, 1) ] ~loops:[ (0, 2) ] in

@@ -21,6 +21,7 @@ let validate_json s =
   let pos = ref 0 in
   let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
   let peek () = if !pos < n then Some s.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal s.[!pos] c in
   let advance () = incr pos in
   let rec ws () =
     match peek () with
@@ -30,7 +31,7 @@ let validate_json s =
     | _ -> ()
   in
   let expect c =
-    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+    if peek_is c then advance () else fail (Printf.sprintf "expected %c" c)
   in
   let literal l =
     if !pos + String.length l <= n && String.sub s !pos (String.length l) = l
@@ -64,7 +65,7 @@ let validate_json s =
     go ()
   in
   let number () =
-    if peek () = Some '-' then advance ();
+    if peek_is '-' then advance ();
     let digits () =
       let saw = ref false in
       let rec go () =
@@ -79,7 +80,7 @@ let validate_json s =
       if not !saw then fail "expected digit"
     in
     digits ();
-    if peek () = Some '.' then begin
+    if peek_is '.' then begin
       advance ();
       digits ()
     end;
@@ -96,7 +97,7 @@ let validate_json s =
     | Some '{' ->
       advance ();
       ws ();
-      if peek () = Some '}' then advance ()
+      if peek_is '}' then advance ()
       else begin
         let rec members () =
           ws ();
@@ -117,7 +118,7 @@ let validate_json s =
     | Some '[' ->
       advance ();
       ws ();
-      if peek () = Some ']' then advance ()
+      if peek_is ']' then advance ()
       else begin
         let rec elements () =
           value ();
@@ -162,7 +163,7 @@ let trace_well_formed () =
   (* Per-domain streams: balanced begin/end, properly nested, monotone
      timestamps. A domain never appends to another domain's buffer, so
      grouping by tid reconstructs each stream. *)
-  let tids = List.sort_uniq compare (List.map (fun e -> e.Obs.ev_tid) events) in
+  let tids = List.sort_uniq Int.compare (List.map (fun e -> e.Obs.ev_tid) events) in
   Alcotest.(check bool) "two domains traced" true (List.length tids >= 2);
   List.iter
     (fun tid ->

@@ -92,8 +92,8 @@ let ordered_view_ranks_are_permutation =
     (fun (n, seed) ->
       let g = loopy_po ~seed n in
       let ov = Sim.ordered_view g (seed mod n) ~radius:2 in
-      let sorted = List.sort compare (Array.to_list ov.ov_rank) in
-      sorted = List.init (Po.n ov.ov_graph) Fun.id)
+      let sorted = List.sort Int.compare (Array.to_list ov.ov_rank) in
+      List.equal Int.equal sorted (List.init (Po.n ov.ov_graph) Fun.id))
 
 let view_po_matches_po_structure () =
   (* A directed loop unfolds through both darts. *)
