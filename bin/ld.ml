@@ -412,7 +412,7 @@ let verify_cmd =
 
 (* ---- stats ---- *)
 
-let stats common delta algo frontier tree =
+let stats common delta algo frontier tree level =
   (* The summary needs the sink on even without --trace. *)
   Obs.enable ();
   with_common common @@ fun () ->
@@ -434,21 +434,33 @@ let stats common delta algo frontier tree =
       delta base_algo.Packing.name f.LB.fail_level (List.length certs));
   if frontier then begin
     (* Replay the memoised construction against every truncation, as the
-       bench's frontier scan does — the memo counters below show the
-       replay hit/divergence behaviour. *)
+       bench's frontier scan does — analytically when the base is greedy
+       (colour-prefix thresholds, no algorithm re-runs), by re-running
+       probes otherwise. The memo counters below show the hit/refute
+       behaviour either way. *)
     let rec scan r =
       if r > (2 * delta) + 2 then None
       else
-        match LB.cached_run cache (Packing.truncated `Greedy r) with
-        | LB.Certified _ -> Some r
-        | LB.Refuted _ -> scan (r + 1)
+        let verdict =
+          match algo with
+          | `Greedy -> LB.truncated_verdict cache ~rounds:r
+          | `Proposal -> (
+            match LB.cached_run cache (Packing.truncated `Proposal r) with
+            | LB.Certified _ -> `Certified
+            | LB.Refuted _ -> `Refuted)
+        in
+        match verdict with
+        | `Certified -> Some r
+        | `Refuted -> scan (r + 1)
     in
     match scan 0 with
     | Some r -> Printf.printf "frontier: smallest surviving truncation r* = %d\n" r
     | None -> Printf.printf "frontier: no truncation survives within 2*delta+2\n"
   end;
   Printf.printf "\n";
-  Format.printf "%a@." Ld_obs.Summary.pp ();
+  (match level with
+  | Some i -> Format.printf "%a@." (Ld_obs.Summary.pp_level ~level:i) ()
+  | None -> Format.printf "%a@." Ld_obs.Summary.pp ());
   if tree then Format.printf "%a@." Ld_obs.Summary.pp_tree ();
   0
 
@@ -464,12 +476,24 @@ let stats_cmd =
       value & flag
       & info [ "tree" ] ~doc:"Print the span tree of the main domain as well.")
   in
+  let level =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "level" ]
+          ~doc:
+            "Restrict the span table to one adversary level: only spans \
+             inside the core.lb.level span carrying this level index \
+             (probe fan-out included).")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run the adversary with the observability sink enabled and print \
           the span/counter summary table.")
-    Term.(const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree)
+    Term.(
+      const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree
+      $ level)
 
 (* ---- lint ---- *)
 

@@ -5,17 +5,21 @@ module Lift = Ld_cover.Lift
 module Refinement = Ld_cover.Refinement
 module Propagation = Ld_fm.Propagation
 module Obs = Ld_obs.Obs
+module Pool = Ld_pool.Pool
 
 (* Adversary-level metrics: probes (algorithm invocations on adversary
    graphs), certificate/refutation outcomes, and the fate of memoised
    frontier replays — hits replay the cached construction, refutations
-   stop a replay early, divergences fall back to a full run. *)
+   stop a replay early, divergences fall back to a full run.
+   [incremental_seeded] counts view checks answered against a composed
+   covering anchor instead of the full unfolded graph. *)
 let c_probes = Obs.Counter.make "core.lb.probes"
 let c_certificates = Obs.Counter.make "core.lb.certificates"
 let c_refutations = Obs.Counter.make "core.lb.refutations"
 let c_memo_hits = Obs.Counter.make "core.lb.memo_replay_hits"
 let c_memo_refuted = Obs.Counter.make "core.lb.memo_replay_refuted"
 let c_memo_diverged = Obs.Counter.make "core.lb.memo_diverged"
+let c_incremental = Obs.Counter.make "core.lb.incremental_seeded"
 
 type algorithm = Ld_matching.Packing.algorithm = {
   name : string;
@@ -51,7 +55,16 @@ type outcome =
 
 (* The running state of the induction: the pair (G, H) together with the
    distinguished nodes g, h, the colour-c loops e, f on which A's
-   outputs y_G = A(G) and y_H = A(H) disagree. *)
+   outputs y_G = A(G) and y_H = A(H) disagree.
+
+   [anchor]/[amap] make the P1 view checks incremental across adjacent
+   levels: [gr] is produced by a chain of 2-lifts from some smaller
+   ancestor (level i+1's unfolding extends level i's), and covering maps
+   preserve universal-cover views exactly at every radius, so
+   τ_r(gr, v) ≅ τ_r(anchor, amap.(v)) for all r. The views check can
+   therefore refine [anchor ∪ GH] instead of [target ∪ GH]; the anchor
+   only resets (to the previous mixture) when the construction switches
+   to the H side, whose graph is not a lift of anything smaller. *)
 type level_state = {
   i : int;
   gr : Ec.t;
@@ -63,6 +76,8 @@ type level_state = {
   f : int; (* loop id in hr *)
   y_g : Fm.t;
   y_h : Fm.t;
+  anchor : Ec.t; (* deepest non-lift ancestor of gr *)
+  amap : int array; (* composed covering map: node of gr -> node of anchor *)
 }
 
 exception Refutation of failure
@@ -71,27 +86,26 @@ exception Refutation of failure
    algorithm fails on the loop-free 2-lift whenever it fails on the
    loopy base (an unsaturated loop becomes an edge with two unsaturated
    endpoints; other violations pull back verbatim). *)
+let infeasible ~level graph output violations =
+  {
+    fail_level = level;
+    fail_graph = graph;
+    fail_output = output;
+    fail_violations = violations;
+    fail_lift = Lift.double graph;
+    fail_note =
+      "output is not a fully saturated maximal fractional matching on \
+       a loopy EC-graph (cf. Lemma 2); the violation persists on the \
+       loop-free 2-lift [fail_lift]";
+  }
+
 let check_feasible ~level graph output =
   (* On the loopy graphs of this construction, maximality already forces
      full saturation (Lemma 2): every node carries a loop, and an
      unsaturated loop endpoint is a maximality violation. *)
-  let violations =
-    Fm.validity_violations output @ Fm.maximality_violations output
-  in
+  let violations = Fm.feasibility_violations output in
   if violations <> [] then
-    raise
-      (Refutation
-         {
-           fail_level = level;
-           fail_graph = graph;
-           fail_output = output;
-           fail_violations = violations;
-           fail_lift = Lift.double graph;
-           fail_note =
-             "output is not a fully saturated maximal fractional matching on \
-              a loopy EC-graph (cf. Lemma 2); the violation persists on the \
-              loop-free 2-lift [fail_lift]";
-         })
+    raise (Refutation (infeasible ~level graph output violations))
 
 (* A feasibility probe: one (graph, base output) pair in the exact order
    [run] checks feasibility — level 0: G_0 then H_0; level i: GG, HH,
@@ -156,6 +170,8 @@ let base_case ?record ~delta algo =
       f = j';
       y_g = y0;
       y_h = y0';
+      anchor = g0;
+      amap = [| 0 |];
     }
 
 (* The mixture GH (Fig. 6): copy of (G - e), copy of (H - f), and a new
@@ -231,7 +247,8 @@ let is_tree_plus_loops g =
   | sg -> Gr.m sg = Gr.n sg - 1 && Gr.is_connected sg
 
 (* One unfold-and-mix step (Fig. 6 + Fig. 7). *)
-let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
+let step ?record ~delta ~algo ~check_views ~check_lift_invariance
+    ~incremental_views state =
   let level = state.i + 1 in
   Obs.with_span ~args:[ ("level", string_of_int level) ] "core.lb.level"
   @@ fun () ->
@@ -249,9 +266,32 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
       assert (Ec.max_degree x <= delta);
       assert (is_tree_plus_loops x))
     [ gg; hh; gh ];
-  let y_gg = run_checked ?record ~level algo gg in
-  let y_hh = run_checked ?record ~level algo hh in
-  let y_gh = run_checked ?record ~level algo gh in
+  (* The three probes of a level are independent runs of A — fan them
+     out over the pool (submission-order join keeps results, and
+     therefore everything downstream, deterministic), then record and
+     feasibility-check sequentially in the canonical GG, HH, GH order so
+     the probe log and the failing probe are exactly the sequential
+     ones. *)
+  let y_gg, y_hh, y_gh =
+    match
+      Pool.map
+        (fun graph -> Obs.with_span "core.lb.probe" (fun () -> algo.run graph))
+        [ gg; hh; gh ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let accept graph y =
+    Obs.Counter.incr c_probes;
+    (match record with
+    | Some r ->
+      r := { probe_level = level; probe_graph = graph; probe_base = y } :: !r
+    | None -> ());
+    check_feasible ~level graph y
+  in
+  accept gg y_gg;
+  accept hh y_hh;
+  accept gh y_gh;
   if check_lift_invariance then begin
     if not (Fm.equal y_gg (Fm.pull_back cov_gg y_g)) then
       failwith
@@ -300,10 +340,27 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
   let wg = Fm.loop_weight y_target loop_target in
   let wh = Fm.loop_weight y_gh loop_gh in
   assert (not (Q.equal wg wh));
+  (* Compose the covering chain for the side we walked into: the new gr
+     is a 2-lift of the old gr (side `G) or of the old mixture (side
+     `H). Either way τ_r(target, v) ≅ τ_r(anchor', amap'.(v)) exactly. *)
+  let anchor', amap' =
+    match side with
+    | `G ->
+      let m = cov_gg.Lift.map and pmap = state.amap in
+      (state.anchor, Array.init (Ec.n gg) (fun v -> pmap.(m.(v))))
+    | `H -> (hr, cov_hh.Lift.map)
+  in
   let views_checked =
     check_views
     && Obs.with_span "core.lb.views" (fun () ->
-           Refinement.equivalent_radius target g_star gh g_star_gh ~radius:level)
+           if incremental_views then begin
+             Obs.Counter.incr c_incremental;
+             Refinement.equivalent_radius anchor' amap'.(g_star) gh g_star_gh
+               ~radius:level
+           end
+           else
+             Refinement.equivalent_radius target g_star gh g_star_gh
+               ~radius:level)
   in
   if check_views && not views_checked then
     failwith "P1 violated: radius-level views are not isomorphic (engine bug)";
@@ -319,6 +376,8 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance state =
       f = loop_gh;
       y_g = y_target;
       y_h = y_gh;
+      anchor = anchor';
+      amap = amap';
     },
     views_checked )
 
@@ -337,7 +396,8 @@ let certificate_of_state ~views_checked s =
     views_checked;
   }
 
-let run_recording ?record ~check_views ~check_lift_invariance ~delta algo =
+let run_recording ?record ~check_views ~check_lift_invariance
+    ~incremental_views ~delta algo =
   if delta < 2 then invalid_arg "Lower_bound.run: delta must be >= 2";
   Obs.with_span
     ~args:[ ("delta", string_of_int delta); ("algorithm", algo.name) ]
@@ -350,7 +410,8 @@ let run_recording ?record ~check_views ~check_lift_invariance ~delta algo =
       certificates := [ certificate_of_state ~views_checked:check_views !state ];
       while !state.i < delta - 2 do
         let next, views_checked =
-          step ?record ~delta ~algo ~check_views ~check_lift_invariance !state
+          step ?record ~delta ~algo ~check_views ~check_lift_invariance
+            ~incremental_views !state
         in
         state := next;
         certificates := certificate_of_state ~views_checked next :: !certificates
@@ -365,8 +426,10 @@ let run_recording ?record ~check_views ~check_lift_invariance ~delta algo =
     Obs.Counter.incr c_refutations);
   outcome
 
-let run ?(check_views = true) ?(check_lift_invariance = true) ~delta algo =
-  run_recording ~check_views ~check_lift_invariance ~delta algo
+let run ?(check_views = true) ?(check_lift_invariance = true)
+    ?(incremental_views = true) ~delta algo =
+  run_recording ~check_views ~check_lift_invariance ~incremental_views ~delta
+    algo
 
 let max_level = function
   | Certified certs | Refuted (certs, _) ->
@@ -393,22 +456,57 @@ let max_level = function
 type cache = {
   cache_delta : int;
   cache_check_views : bool;
+  cache_algo_name : string;
   cache_outcome : outcome;
   cache_probes : probe list;
+  cache_prefix_rounds : int array;
+      (* Per probe, in probe order: the smallest truncation [r] whose
+         colour-<=r restriction of the base output is still feasible —
+         the largest colour carrying positive weight for probes the base
+         passed, [max_int] for a probe the base itself failed (then no
+         truncation passes either). Fuels {!truncated_replay}. *)
 }
 
-let build_cache ?(check_views = true) ~delta algo =
+(* Largest colour with positive weight anywhere in the output. Every
+   positive item sits at some node, so this equals the max over nodes of
+   their largest positive colour — the exact threshold below which a
+   colour restriction leaves some node unsaturated. *)
+let prefix_round p =
+  let y = p.probe_base and graph = p.probe_graph in
+  let r = ref 0 in
+  for j = 0 to Ec.num_edges graph - 1 do
+    if Q.sign (Fm.edge_weight y j) > 0 then
+      r := Stdlib.max !r (Ec.edge graph j).colour
+  done;
+  for j = 0 to Ec.num_loops graph - 1 do
+    if Q.sign (Fm.loop_weight y j) > 0 then
+      r := Stdlib.max !r (Ec.loop graph j).colour
+  done;
+  !r
+
+let build_cache ?(check_views = true) ?(incremental_views = true) ~delta algo =
   Obs.with_span ~args:[ ("delta", string_of_int delta) ] "core.lb.build_cache"
   @@ fun () ->
   let record = ref [] in
   let outcome =
-    run_recording ~record ~check_views ~check_lift_invariance:true ~delta algo
+    run_recording ~record ~check_views ~check_lift_invariance:true
+      ~incremental_views ~delta algo
   in
+  let probes = List.rev !record in
+  let prefix_rounds = Array.of_list (List.map prefix_round probes) in
+  (* When the base itself was refuted, the failing probe is the last one
+     recorded: its output is infeasible at every truncation. *)
+  (match outcome with
+  | Refuted _ when Array.length prefix_rounds > 0 ->
+    prefix_rounds.(Array.length prefix_rounds - 1) <- max_int
+  | _ -> ());
   {
     cache_delta = delta;
     cache_check_views = check_views;
+    cache_algo_name = algo.name;
     cache_outcome = outcome;
-    cache_probes = List.rev !record;
+    cache_probes = probes;
+    cache_prefix_rounds = prefix_rounds;
   }
 
 let cache_outcome cache = cache.cache_outcome
@@ -442,6 +540,84 @@ let cached_run cache algo =
     Obs.Counter.incr c_memo_diverged;
     run ~check_views:cache.cache_check_views ~delta:cache.cache_delta algo
 
+(* The colour-<=rounds restriction of an output, materialised as an FM
+   on the same graph — what the truncated greedy computes. *)
+let restrict_output y graph ~rounds =
+  let edge_w =
+    Array.init (Ec.num_edges graph) (fun j ->
+        if (Ec.edge graph j).colour <= rounds then Fm.edge_weight y j
+        else Q.zero)
+  in
+  let loop_w =
+    Array.init (Ec.num_loops graph) (fun j ->
+        if (Ec.loop graph j).colour <= rounds then Fm.loop_weight y j
+        else Q.zero)
+  in
+  Fm.create graph ~edge_w ~loop_w
+
+let truncated_replay cache ~rounds =
+  if
+    cache.cache_algo_name <> Ld_matching.Packing.greedy_algorithm.name
+  then
+    invalid_arg
+      "Lower_bound.truncated_replay: cache was not built against \
+       greedy-by-colour (truncations of other bases are not colour-prefix \
+       restrictions)";
+  if rounds < 0 then invalid_arg "Lower_bound.truncated_replay: negative rounds";
+  Obs.with_span "core.lb.frontier_replay" @@ fun () ->
+  (* First probe (in check order) whose feasibility threshold exceeds
+     [rounds] — exactly where the replay would raise [Refutation]. *)
+  let failing =
+    let rec scan i = function
+      | [] -> None
+      | p :: rest ->
+        if cache.cache_prefix_rounds.(i) > rounds then Some p
+        else scan (i + 1) rest
+    in
+    scan 0 cache.cache_probes
+  in
+  match failing with
+  | None ->
+    Obs.Counter.incr c_memo_hits;
+    cache.cache_outcome
+  | Some p ->
+    Obs.Counter.incr c_memo_refuted;
+    let y_r = restrict_output p.probe_base p.probe_graph ~rounds in
+    let violations = Fm.feasibility_violations y_r in
+    let failure =
+      infeasible ~level:p.probe_level p.probe_graph y_r violations
+    in
+    let certs =
+      match cache.cache_outcome with
+      | Certified certs | Refuted (certs, _) -> certs
+    in
+    Refuted (List.filter (fun c -> c.level < failure.fail_level) certs, failure)
+
+let truncated_verdict cache ~rounds =
+  if
+    cache.cache_algo_name <> Ld_matching.Packing.greedy_algorithm.name
+  then
+    invalid_arg
+      "Lower_bound.truncated_verdict: cache was not built against \
+       greedy-by-colour (truncations of other bases are not colour-prefix \
+       restrictions)";
+  if rounds < 0 then
+    invalid_arg "Lower_bound.truncated_verdict: negative rounds";
+  Obs.with_span "core.lb.frontier_verdict" @@ fun () ->
+  let fails =
+    Array.exists (fun threshold -> threshold > rounds) cache.cache_prefix_rounds
+  in
+  if fails then begin
+    Obs.Counter.incr c_memo_refuted;
+    `Refuted
+  end
+  else begin
+    Obs.Counter.incr c_memo_hits;
+    match cache.cache_outcome with
+    | Certified _ -> `Certified
+    | Refuted _ -> `Refuted
+  end
+
 let boundary ~delta ~truncate_max base =
   let base_algo =
     match base with
@@ -449,8 +625,12 @@ let boundary ~delta ~truncate_max base =
     | `Proposal -> Ld_matching.Packing.proposal_algorithm
   in
   let cache = build_cache ~check_views:false ~delta base_algo in
-  List.init (truncate_max + 1) (fun r ->
-      (r, max_level (cached_run cache (Ld_matching.Packing.truncated base r))))
+  let outcome_at r =
+    match base with
+    | `Greedy -> truncated_replay cache ~rounds:r
+    | `Proposal -> cached_run cache (Ld_matching.Packing.truncated base r)
+  in
+  List.init (truncate_max + 1) (fun r -> (r, max_level (outcome_at r)))
 
 let pp_certificate fmt c =
   Format.fprintf fmt

@@ -76,15 +76,27 @@ type outcome =
 (** [run ~delta a] executes the adversary against [a] for maximum
     degree [delta >= 2].
 
+    The three probes of every level (GG, HH, GH) are independent runs of
+    [a] and are fanned out over the {!Ld_pool.Pool} domains; recording
+    and feasibility checks happen in the canonical sequential order, so
+    outcomes are bit-for-bit those of a sequential run.
+
     @param check_views verify P1 view-isomorphism by colour refinement
     at every level (default [true]).
     @param check_lift_invariance re-run [a] on each 2-lift and compare
     with the pulled-back base output; a mismatch means [a] violates the
     EC model's condition (2) and raises [Failure] (default [true]).
+    @param incremental_views make the P1 checks incremental across
+    adjacent levels (default [true]): each level's graph extends the
+    previous level's by a 2-lift, and covering maps preserve
+    universal-cover views exactly at every radius, so the check refines
+    the composed covering anchor (the deepest non-lift ancestor) against
+    the mixture instead of the full unfolded graph — same verdict on a
+    smaller union ([core.lb.incremental_seeded] counts these).
     @raise Invalid_argument if [delta < 2]. *)
 val run :
-  ?check_views:bool -> ?check_lift_invariance:bool -> delta:int ->
-  algorithm -> outcome
+  ?check_views:bool -> ?check_lift_invariance:bool ->
+  ?incremental_views:bool -> delta:int -> algorithm -> outcome
 
 (** Highest certified level of an outcome ([-1] if none). *)
 val max_level : outcome -> int
@@ -100,11 +112,16 @@ val max_level : outcome -> int
 type cache
 
 (** [build_cache ~delta a] runs the full adversary against [a] once and
-    records every probe together with the outcome. [check_views] is
-    forwarded to the underlying {!run} and also used by any fallback
-    {!run} a later {!cached_run} needs.
+    records every probe together with the outcome (plus, per probe, the
+    largest colour carrying positive weight — the feasibility threshold
+    {!truncated_replay} compares against). [check_views] and
+    [incremental_views] are forwarded to the underlying {!run};
+    [check_views] is also used by any fallback {!run} a later
+    {!cached_run} needs.
     @raise Invalid_argument if [delta < 2]. *)
-val build_cache : ?check_views:bool -> delta:int -> algorithm -> cache
+val build_cache :
+  ?check_views:bool -> ?incremental_views:bool -> delta:int -> algorithm ->
+  cache
 
 (** The base algorithm's recorded outcome — what {!run} returned during
     {!build_cache}, physically shared (no recomputation). *)
@@ -129,6 +146,36 @@ val cache_outcome : cache -> outcome
     saturated, and a saturated truncation of greedy/proposal equals the
     untruncated output. *)
 val cached_run : cache -> algorithm -> outcome
+
+(** [truncated_replay cache ~rounds] is the exact outcome of
+    [cached_run cache (Packing.truncated `Greedy rounds)], computed
+    {e analytically} — no algorithm is re-run on any probe graph.
+
+    Greedy-by-colour reads exactly the colour-[c] dart in phase [c], so
+    its [rounds]-truncation outputs precisely the colour-[≤ rounds]
+    prefix of the base output, and on the adversary's loopy probe graphs
+    that prefix is feasible iff every positive base colour is [≤ rounds]
+    (feasible ⟺ fully saturated, Lemma 2) — in which case it {e equals}
+    the base output and the cached outcome is returned as-is. Otherwise
+    the first probe whose threshold exceeds [rounds] is where the real
+    replay would refute, and an identical failure witness (restricted
+    output, freshly checked violations, same 2-lift) is materialised.
+    @raise Invalid_argument if the cache's base algorithm is not
+    greedy-by-colour or [rounds < 0]. *)
+val truncated_replay : cache -> rounds:int -> outcome
+
+(** [truncated_verdict cache ~rounds] is the constructor of
+    [truncated_replay cache ~rounds] alone ([`Certified] or
+    [`Refuted]), skipping the failure-witness materialisation (the
+    restricted output, its violation list, and the 2-lift) that a
+    refuted replay builds. A frontier scan only consumes the verdict,
+    and the witness is by far the dominant cost of a refuted replay —
+    this is one threshold comparison per probe. Counter traffic
+    ([memo_replay_hits] / [memo_replay_refuted]) matches the full
+    replay.
+    @raise Invalid_argument if the cache's base algorithm is not
+    greedy-by-colour or [rounds < 0]. *)
+val truncated_verdict : cache -> rounds:int -> [ `Certified | `Refuted ]
 
 (** [boundary ~delta ~truncate_max base] runs the adversary against the
     [base] algorithm truncated to [r = 0, 1, …, truncate_max]

@@ -4,21 +4,60 @@ module Obs = Ld_obs.Obs
 
 type history = int array array
 
-(* Metrics of the flat path (DESIGN.md § Observability): rounds actually
-   computed vs skipped by the stabilisation early-exit, and the interning
-   behaviour that dominates a round's cost. *)
+(* Metrics of the partition-refinement path (DESIGN.md § Observability):
+   rounds actually computed vs skipped by the stabilisation early-exit,
+   block split events, and the interning behaviour inside splits.
+   [descriptors_sorted] counts per-node descriptor sorts and therefore
+   stays at zero on the default path — only the reference oracle sorts;
+   CI guards on exactly that. *)
 let c_rounds = Obs.Counter.make "cover.refine.rounds"
 let c_rounds_skipped = Obs.Counter.make "cover.refine.rounds_skipped"
 let c_descriptors = Obs.Counter.make "cover.refine.descriptors_sorted"
 let c_intern_hits = Obs.Counter.make "cover.refine.intern_hits"
 let c_intern_misses = Obs.Counter.make "cover.refine.intern_misses"
+let c_blocks_split = Obs.Counter.make "cover.refine.blocks_split"
+
+(* Per-domain running totals, so a pool task (which runs entirely on one
+   domain) can difference them around a row of work without racing the
+   global atomics against sibling domains. *)
+type domain_stats = {
+  mutable s_rounds : int;
+  mutable s_descriptors : int;
+  mutable s_blocks_split : int;
+}
+
+let stats_key =
+  Domain.DLS.new_key (fun () ->
+      { s_rounds = 0; s_descriptors = 0; s_blocks_split = 0 })
+
+module Stats = struct
+  type t = { rounds : int; descriptors : int; blocks_split : int }
+
+  let current () =
+    let s = Domain.DLS.get stats_key in
+    {
+      rounds = s.s_rounds;
+      descriptors = s.s_descriptors;
+      blocks_split = s.s_blocks_split;
+    }
+
+  let since t0 =
+    let t1 = current () in
+    {
+      rounds = t1.rounds - t0.rounds;
+      descriptors = t1.descriptors - t0.descriptors;
+      blocks_split = t1.blocks_split - t0.blocks_split;
+    }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Reference path: generic refinement over a dart structure given as
    closures producing (key, other end) lists. Labels are interned per
    round so that equal labels mean structurally identical descriptors.
-   Kept verbatim as the differential-testing oracle for the flat path
-   below (exposed through [~reference:true]). *)
+   Kept verbatim as the differential-testing oracle for the partition
+   refinement below (exposed through [~reference:true]); it is the only
+   path that sorts descriptors, which is what [descriptors_sorted]
+   meters. *)
 
 (* Lexicographic on int pairs: same order as the polymorphic compare the
    reference path historically used, so interned labels are unchanged. *)
@@ -48,7 +87,9 @@ let refine_generic_reference ~n ~(darts : int -> (int * int) list) ~rounds =
       in
       next.(v) <- label
     done;
-    history.(r) <- next
+    history.(r) <- next;
+    Obs.Counter.incr c_rounds;
+    Obs.Counter.add c_descriptors n
   done;
   history
 
@@ -69,37 +110,75 @@ let po_darts g v =
     (Po.darts g v)
 
 (* ------------------------------------------------------------------ *)
-(* Flat path: the same refinement on the graphs' cached CSR dart views.
-   Each round packs every dart descriptor [(key, label of other end)]
-   into a single int [key * stride + label] (exactly the lexicographic
-   order of the pairs, since labels < stride), insertion-sorts each
-   node's short segment in place, and interns the int-tuple
-   [prev label; sorted dart codes...] through a monomorphic hash table —
-   no per-round lists, no polymorphic compare. Interning is in node
-   order, so the labels produced are identical (not merely
-   partition-equal) to the reference path's. *)
+(* Flat dart view shared by both models. The per-node dart segments are
+   in ascending key order with all keys distinct (EC enforces a proper
+   colouring including loops; PO enforces properness per direction and
+   the key [2 * colour + dir] separates directions by parity), so the
+   fixed segment order IS the lexicographically sorted descriptor order:
+   no per-round sort is ever needed. *)
 
 type flat = {
   fn : int;
   frow : int array; (* length fn + 1 *)
-  fkey : int array; (* dart keys, per-node segments in [frow] *)
+  fkey : int array; (* dart keys, ascending within each node segment *)
   fother : int array; (* node at the dart's far end; self for loops *)
 }
 
 let flat_ec g =
   let c = Ec.csr g in
+  (* EC CSR segments are already colour-ascending: share the arrays. *)
   { fn = Ec.n g; frow = c.Ec.row; fkey = c.Ec.colour; fother = c.Ec.other }
 
 let flat_po g =
   let c = Po.csr g in
-  {
-    fn = Po.n g;
-    frow = c.Po.row;
-    fkey =
-      Array.init (Array.length c.Po.colour) (fun d ->
-          (c.Po.colour.(d) * 2) + c.Po.dir.(d));
-    fother = c.Po.other;
-  }
+  let n = Po.n g in
+  let row = c.Po.row in
+  let m = row.(n) in
+  let key = Array.make m 0 and oth = Array.make m 0 in
+  (* A PO segment is two ascending runs — out darts (even keys) then in
+     darts (odd keys). One merge pass per node makes the whole segment
+     key-ascending; this happens once per graph, not once per round. *)
+  for v = 0 to n - 1 do
+    let lo = row.(v) and hi = row.(v + 1) in
+    let b = ref lo in
+    while !b < hi && c.Po.dir.(!b) = 0 do
+      incr b
+    done;
+    let i = ref lo and j = ref !b and t = ref lo in
+    while !i < !b || !j < hi do
+      let take_out =
+        !j >= hi
+        || (!i < !b && c.Po.colour.(!i) * 2 < (c.Po.colour.(!j) * 2) + 1)
+      in
+      let d = if take_out then !i else !j in
+      if take_out then incr i else incr j;
+      key.(!t) <- (c.Po.colour.(d) * 2) + c.Po.dir.(d);
+      oth.(!t) <- c.Po.other.(d);
+      incr t
+    done
+  done;
+  { fn = n; frow = row; fkey = key; fother = oth }
+
+(* Disjoint union on flat views: pure array blits with an offset — no
+   [Ec.t] is materialised (no dart lists, no validation, no sorting).
+   This is what [equivalent_radius] refines. *)
+let flat_union a b =
+  let n = a.fn + b.fn in
+  let ma = a.frow.(a.fn) and mb = b.frow.(b.fn) in
+  let row = Array.make (n + 1) 0 in
+  Array.blit a.frow 0 row 0 (a.fn + 1);
+  for j = 1 to b.fn do
+    row.(a.fn + j) <- ma + b.frow.(j)
+  done;
+  let key = Array.make (ma + mb) 0 in
+  Array.blit a.fkey 0 key 0 ma;
+  Array.blit b.fkey 0 key ma mb;
+  let oth = Array.make (ma + mb) 0 in
+  Array.blit a.fother 0 oth 0 ma;
+  for d = 0 to mb - 1 do
+    oth.(ma + d) <- b.fother.(d) + a.fn
+  done;
+  { fn = n; frow = row; fkey = key; fother = oth }
 
 module Descriptor = struct
   type t = int array
@@ -124,77 +203,257 @@ end
 
 module Intern = Hashtbl.Make (Descriptor)
 
-(* One refinement round: reads [prev], writes [next], returns the number
-   of distinct labels assigned. [codes] is a scratch array of size
-   [frow.(fn)] reused across rounds. *)
-let flat_round { fn = n; frow = row; fkey = key; fother = other } ~stride ~codes
-    prev next =
-  let m = row.(n) in
-  for d = 0 to m - 1 do
-    Array.unsafe_set codes d
-      ((Array.unsafe_get key d * stride) + Array.unsafe_get prev (Array.unsafe_get other d))
-  done;
-  for v = 0 to n - 1 do
-    (* Insertion sort of the node's dart codes: segments are at most Δ
-       long and nearly sorted already (keys ascend within a node). *)
-    let lo = row.(v) and hi = row.(v + 1) - 1 in
-    for i = lo + 1 to hi do
-      let x = codes.(i) in
-      let j = ref (i - 1) in
-      while !j >= lo && codes.(!j) > x do
-        codes.(!j + 1) <- codes.(!j);
-        decr j
+(* ------------------------------------------------------------------ *)
+(* Round-synchronous Paige–Tarjan partition refinement.
+
+   Blocks carry stable internal ids; node descriptors are computed
+   against the id snapshot of the previous round, so a block only needs
+   re-examination in round [r] if one of its members — or a neighbour of
+   one — changed id in round [r-1]. When a dirty block splits, the
+   {e largest} sub-block keeps the parent id (ties broken towards the
+   first-encountered group, which is deterministic because members are
+   scanned in slice order), so only members of the smaller parts are
+   marked changed: every id change at least halves the node's block, so
+   a node is marked O(log n) times and the total work is O(m log n)
+   rather than O(m · rounds).
+
+   Classical Paige–Tarjan is asynchronous — it may refine "ahead" of the
+   round counter — which would be unsound here: [equivalent_radius]
+   queries the partition after {e exactly} r rounds (radius-r view
+   isomorphism, paper §3.1). The engine therefore stays round-
+   synchronous and the per-round partitions coincide label-for-label
+   with the reference oracle after the dense relabelling pass. *)
+
+type engine = {
+  fl : flat;
+  stride : int; (* fn + 1: labels fit under it, codes pack as key * stride + label *)
+  ids : int array; (* current block id per node *)
+  ids_prev : int array; (* snapshot taken at the top of each round *)
+  elems : int array; (* nodes grouped by block: one contiguous slice each *)
+  blk_start : int array; (* slice start, indexed by block id *)
+  blk_len : int array;
+  mutable nblocks : int;
+  (* Nodes whose id changed in the last completed round; double-buffered
+     so a round can read the previous list while writing its own. *)
+  mutable changed : int array;
+  mutable nchanged : int;
+  mutable changed_next : int array;
+  mutable nchanged_next : int;
+  dirty_stamp : int array; (* by block id; stamped with the round number *)
+  dirty : int array;
+  mutable ndirty : int;
+  (* Scratch reused across rounds (all indexed within one block slice
+     or by group index, both bounded by fn). *)
+  gidx : int array;
+  member : int array;
+  gcount : int array;
+  gstart : int array;
+  gfill : int array;
+  dense_map : int array; (* internal id -> dense label, per relabel pass *)
+  dense_stamp : int array;
+  mutable split_last_round : bool;
+}
+
+let engine_create fl =
+  let n = fl.fn in
+  let sz = Stdlib.max 1 n in
+  {
+    fl;
+    stride = n + 1;
+    ids = Array.make sz 0;
+    ids_prev = Array.make sz 0;
+    elems = Array.init sz (fun i -> i);
+    blk_start = Array.make sz 0;
+    blk_len = (let a = Array.make sz 0 in a.(0) <- n; a);
+    nblocks = 1;
+    changed = Array.make sz 0;
+    nchanged = 0;
+    changed_next = Array.make sz 0;
+    nchanged_next = 0;
+    dirty_stamp = Array.make sz (-1);
+    dirty = Array.make sz 0;
+    ndirty = 0;
+    gidx = Array.make sz 0;
+    member = Array.make sz 0;
+    gcount = Array.make sz 0;
+    gstart = Array.make sz 0;
+    gfill = Array.make sz 0;
+    dense_map = Array.make sz 0;
+    dense_stamp = Array.make sz (-1);
+    split_last_round = false;
+  }
+
+(* One refinement round. [r] must increase strictly across calls on the
+   same engine (it doubles as the dirty stamp). *)
+let engine_round eng r =
+  let n = eng.fl.fn in
+  let row = eng.fl.frow and key = eng.fl.fkey and other = eng.fl.fother in
+  let stride = eng.stride in
+  Array.blit eng.ids 0 eng.ids_prev 0 n;
+  let prev = eng.ids_prev in
+  (* Collect the blocks whose members' descriptors may have changed:
+     blocks of changed nodes and blocks of their neighbours. Members of
+     a split's largest part kept their id, so neither their own blocks
+     nor their neighbours' read any different id value — they stay
+     clean, which is exactly the smaller-half discipline. *)
+  eng.ndirty <- 0;
+  let mark b =
+    if eng.dirty_stamp.(b) <> r then begin
+      eng.dirty_stamp.(b) <- r;
+      eng.dirty.(eng.ndirty) <- b;
+      eng.ndirty <- eng.ndirty + 1
+    end
+  in
+  if r = 1 then mark 0
+  else
+    for ci = 0 to eng.nchanged - 1 do
+      let v = eng.changed.(ci) in
+      mark prev.(v);
+      for d = row.(v) to row.(v + 1) - 1 do
+        mark prev.(other.(d))
+      done
+    done;
+  eng.nchanged_next <- 0;
+  let nsplit = ref 0 and ndesc = ref 0 and hits = ref 0 in
+  for di = 0 to eng.ndirty - 1 do
+    let b = eng.dirty.(di) in
+    let len = eng.blk_len.(b) in
+    (* A singleton can never split; its descriptor need not exist. *)
+    if len > 1 then begin
+      let s = eng.blk_start.(b) in
+      let intern = Intern.create 16 in
+      let ngroups = ref 0 in
+      (* Group members by descriptor. Within a block all previous ids
+         are equal, so the descriptor is just the dart codes in the
+         segment's fixed key-ascending order — already canonical. *)
+      for i = 0 to len - 1 do
+        let v = eng.elems.(s + i) in
+        let lo = row.(v) in
+        let deg = row.(v + 1) - lo in
+        let descr = Array.make deg 0 in
+        for d = 0 to deg - 1 do
+          descr.(d) <-
+            (Array.unsafe_get key (lo + d) * stride)
+            + Array.unsafe_get prev (Array.unsafe_get other (lo + d))
+        done;
+        incr ndesc;
+        let g =
+          match Intern.find_opt intern descr with
+          | Some g ->
+            incr hits;
+            g
+          | None ->
+            let g = !ngroups in
+            Intern.add intern descr g;
+            incr ngroups;
+            g
+        in
+        eng.gidx.(i) <- g;
+        eng.gcount.(g) <- eng.gcount.(g) + 1
       done;
-      codes.(!j + 1) <- x
-    done
+      if !ngroups > 1 then begin
+        incr nsplit;
+        let largest = ref 0 in
+        for g = 1 to !ngroups - 1 do
+          if eng.gcount.(g) > eng.gcount.(!largest) then largest := g
+        done;
+        (* Stable re-layout of the slice: groups in first-occurrence
+           order, members keeping their relative order — both needed for
+           determinism of later tie-breaks. *)
+        let acc = ref s in
+        for g = 0 to !ngroups - 1 do
+          eng.gstart.(g) <- !acc;
+          eng.gfill.(g) <- !acc;
+          acc := !acc + eng.gcount.(g)
+        done;
+        Array.blit eng.elems s eng.member 0 len;
+        for i = 0 to len - 1 do
+          let v = eng.member.(i) in
+          let g = eng.gidx.(i) in
+          let p = eng.gfill.(g) in
+          eng.gfill.(g) <- p + 1;
+          eng.elems.(p) <- v
+        done;
+        for g = 0 to !ngroups - 1 do
+          let id =
+            if g = !largest then b
+            else begin
+              let id = eng.nblocks in
+              eng.nblocks <- id + 1;
+              id
+            end
+          in
+          eng.blk_start.(id) <- eng.gstart.(g);
+          eng.blk_len.(id) <- eng.gcount.(g);
+          if g <> !largest then
+            for p = eng.gstart.(g) to eng.gstart.(g) + eng.gcount.(g) - 1 do
+              let v = eng.elems.(p) in
+              eng.ids.(v) <- id;
+              eng.changed_next.(eng.nchanged_next) <- v;
+              eng.nchanged_next <- eng.nchanged_next + 1
+            done
+        done
+      end;
+      for g = 0 to !ngroups - 1 do
+        eng.gcount.(g) <- 0
+      done
+    end
   done;
-  let intern = Intern.create (2 * n) in
-  let hits = ref 0 in
-  for v = 0 to n - 1 do
-    let lo = row.(v) and len = row.(v + 1) - row.(v) in
-    let descriptor = Array.make (len + 1) prev.(v) in
-    Array.blit codes lo descriptor 1 len;
-    let label =
-      match Intern.find_opt intern descriptor with
-      | Some l ->
-        incr hits;
-        l
-      | None ->
-        let l = Intern.length intern in
-        Intern.add intern descriptor l;
-        l
-    in
-    next.(v) <- label
-  done;
+  let tmp = eng.changed in
+  eng.changed <- eng.changed_next;
+  eng.changed_next <- tmp;
+  eng.nchanged <- eng.nchanged_next;
+  eng.split_last_round <- !nsplit > 0;
   Obs.Counter.incr c_rounds;
-  Obs.Counter.add c_descriptors n;
   Obs.Counter.add c_intern_hits !hits;
-  Obs.Counter.add c_intern_misses (n - !hits);
-  Intern.length intern
+  Obs.Counter.add c_intern_misses (!ndesc - !hits);
+  Obs.Counter.add c_blocks_split !nsplit;
+  let ds = Domain.DLS.get stats_key in
+  ds.s_rounds <- ds.s_rounds + 1;
+  ds.s_descriptors <- ds.s_descriptors + !ndesc;
+  ds.s_blocks_split <- ds.s_blocks_split + !nsplit
+
+(* Internal ids densified by first occurrence in node order — exactly
+   the label discipline of the reference oracle, so histories match
+   label-for-label, not merely partition-for-partition. [stamp] must be
+   unused by earlier relabel passes on this engine; round numbers are. *)
+let engine_dense eng stamp =
+  let n = eng.fl.fn in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for v = 0 to n - 1 do
+    let b = eng.ids.(v) in
+    if eng.dense_stamp.(b) <> stamp then begin
+      eng.dense_stamp.(b) <- stamp;
+      eng.dense_map.(b) <- !k;
+      incr k
+    end;
+    out.(v) <- eng.dense_map.(b)
+  done;
+  out
 
 let refine_flat fl ~rounds =
   let n = fl.fn in
   let history = Array.make (rounds + 1) [||] in
   history.(0) <- Array.make n 0;
-  if n > 0 then begin
-    let stride = n + 1 in
-    let codes = Array.make fl.frow.(n) 0 in
-    let classes = ref 1 in
+  if n > 0 && rounds > 0 then begin
+    let eng = engine_create fl in
     let stable = ref false in
     for r = 1 to rounds do
       if !stable then begin
-        (* Refinement only ever splits classes, and labels are assigned
-           densely by first occurrence, so once the class count stops
-           growing every later round relabels identically: share the
+        (* Refinement only ever splits classes, so once a round splits
+           nothing every later round relabels identically: share the
            stabilised array instead of recomputing it. *)
         Obs.Counter.incr c_rounds_skipped;
         history.(r) <- history.(r - 1)
       end
       else begin
-        let next = Array.make n 0 in
-        let k = flat_round fl ~stride ~codes history.(r - 1) next in
-        history.(r) <- next;
-        if k = !classes then stable := true else classes := k
+        engine_round eng r;
+        if eng.split_last_round then history.(r) <- engine_dense eng r
+        else begin
+          stable := true;
+          history.(r) <- history.(r - 1)
+        end
       end
     done
   end;
@@ -212,63 +471,73 @@ let refine_po ?(reference = false) g ~rounds =
   else
     Obs.with_span "cover.refine.po" (fun () -> refine_flat (flat_po g) ~rounds)
 
+(* Equivalence queries need no label history at all: two nodes are
+   round-r equivalent iff they sit in the same block after r rounds, and
+   blocks never merge — so the scan can stop early both on divergence
+   (answer is No forever) and on stabilisation (answer is the current
+   one forever). *)
+let query_equivalent fl u v ~radius =
+  u = v
+  || radius = 0
+  ||
+  let eng = engine_create fl in
+  let r = ref 1 and equal = ref true and scanning = ref true in
+  while !scanning do
+    engine_round eng !r;
+    if eng.ids.(u) <> eng.ids.(v) then begin
+      equal := false;
+      scanning := false
+    end
+    else if (not eng.split_last_round) || !r >= radius then scanning := false
+    else incr r
+  done;
+  !equal
+
 let equivalent_radius g u h v ~radius =
   Obs.with_span "cover.refine.equivalent_radius" (fun () ->
-      let union = Ec.disjoint_union g h in
-      let history = refine_ec union ~rounds:radius in
-      history.(radius).(u) = history.(radius).(Ec.n g + v))
+      let union = flat_union (flat_ec g) (flat_ec h) in
+      query_equivalent union u (Ec.n g + v) ~radius)
 
 let first_distinguishing_radius g u h v ~max_radius =
-  let union = Ec.disjoint_union g h in
-  let history = refine_ec union ~rounds:max_radius in
-  let rec scan r =
-    if r > max_radius then None
-    else if history.(r).(u) <> history.(r).(Ec.n g + v) then Some r
-    else scan (r + 1)
-  in
-  scan 0
+  let union = flat_union (flat_ec g) (flat_ec h) in
+  let v = Ec.n g + v in
+  if u = v || max_radius < 1 then None
+  else begin
+    let eng = engine_create union in
+    let r = ref 1 and answer = ref None and scanning = ref true in
+    while !scanning do
+      engine_round eng !r;
+      if eng.ids.(u) <> eng.ids.(v) then begin
+        answer := Some !r;
+        scanning := false
+      end
+      else if (not eng.split_last_round) || !r >= max_radius then
+        scanning := false
+      else incr r
+    done;
+    !answer
+  end
 
-(* Refine to a fixpoint incrementally — one round at a time on the flat
-   view, stopping as soon as the class count stops growing (refinement
-   only ever splits classes), instead of restarting the whole history
-   for every candidate round count. *)
+(* Refine to a fixpoint: iterate until a round splits nothing. Each
+   splitting round grows the block count, so this terminates within n
+   rounds. *)
 let stable_flat fl =
   let n = fl.fn in
   if n = 0 then [||]
   else begin
-    let stride = n + 1 in
-    let codes = Array.make fl.frow.(n) 0 in
-    let labels = ref (Array.make n 0) in
-    let classes = ref 1 in
-    let rounds = ref 0 in
-    let stable = ref false in
-    (* Stabilisation takes at most n rounds; the cap is just a guard. *)
-    while (not !stable) && !rounds <= n + 1 do
-      let next = Array.make n 0 in
-      let k = flat_round fl ~stride ~codes !labels next in
-      labels := next;
-      if k = !classes then stable := true else classes := k;
-      incr rounds
+    let eng = engine_create fl in
+    let r = ref 1 and scanning = ref true in
+    while !scanning do
+      engine_round eng !r;
+      if eng.split_last_round then incr r else scanning := false
     done;
-    !labels
+    engine_dense eng (!r + 1)
   end
-
-let densify labels =
-  let mapping = Hashtbl.create 16 in
-  Array.map
-    (fun l ->
-      match Hashtbl.find_opt mapping l with
-      | Some d -> d
-      | None ->
-        let d = Hashtbl.length mapping in
-        Hashtbl.add mapping l d;
-        d)
-    labels
 
 let stable_partition_ec g =
   Obs.with_span "cover.refine.stable_partition" (fun () ->
-      densify (stable_flat (flat_ec g)))
+      stable_flat (flat_ec g))
 
 let stable_partition_po g =
   Obs.with_span "cover.refine.stable_partition" (fun () ->
-      densify (stable_flat (flat_po g)))
+      stable_flat (flat_po g))

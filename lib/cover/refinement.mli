@@ -18,14 +18,36 @@
     {!equivalent_radius}). *)
 type history = int array array
 
+(** Per-domain tallies of refinement work, for benchmark rows that need
+    the cost of {e their own} task rather than the process-wide atomic
+    counters (which mix all pool domains together). Totals accumulate
+    per domain; difference two {!Stats.current} snapshots around a task
+    to meter it. *)
+module Stats : sig
+  type t = { rounds : int; descriptors : int; blocks_split : int }
+
+  (** Running totals of the calling domain. *)
+  val current : unit -> t
+
+  (** [since t0] is the work done on this domain since the [t0]
+      snapshot. *)
+  val since : t -> t
+end
+
 (** [refine_ec g ~rounds] runs refinement on an EC multigraph.
 
-    The default implementation works on the graph's cached CSR dart
-    view: descriptors are packed into flat int arrays, interned through
-    a monomorphic int-tuple hash table, and rounds past partition
-    stabilisation share the stabilised labelling instead of recomputing
-    it. [~reference:true] selects the original list-based,
-    polymorphic-compare implementation; both produce {e identical}
+    The default implementation is round-synchronous Paige–Tarjan
+    partition refinement on the graph's cached CSR dart view: a round
+    re-examines only the blocks whose members (or their neighbours)
+    changed block in the previous round, a split keeps the parent id on
+    the largest sub-block so only the smaller parts propagate dirtiness
+    (each node changes id O(log n) times), and per-node descriptors are
+    read off in the CSR segment's fixed key-ascending order — keys are
+    distinct within a node, so that order is already canonical and
+    nothing is ever sorted ([cover.refine.descriptors_sorted] stays 0).
+    A dense relabelling pass per round reproduces the reference label
+    discipline exactly. [~reference:true] selects the original
+    list-based, sort-per-node implementation; both produce {e identical}
     label arrays (a tested invariant), the reference path just does so
     slowly. *)
 val refine_ec : ?reference:bool -> Ld_models.Ec.t -> rounds:int -> history

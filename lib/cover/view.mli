@@ -7,16 +7,27 @@
     of these trees {e is} isomorphism of the neighbourhoods.
 
     A loop dart (semi-edge) unfolds into a fresh copy of its own node,
-    exactly as in a simple lift. Beware the [Δ^t] size growth: view trees
-    are for small radii and cross-validation; the scalable equivalence
-    test is {!Refinement}. *)
+    exactly as in a simple lift. Views are hash-consed in a global arena
+    shared across graphs, levels and deltas: isomorphic subtrees are one
+    arena node, [of_ec] is memoised over (node, entry colour, depth) so
+    the [Δ^t]-node tree costs only [O(n·Δ·t)] cons operations, and
+    {!equal} is a single tag comparison. The arena lives for the whole
+    process ([cover.view.cons_hits] meters the sharing); the scalable
+    equivalence test is still {!Refinement}. *)
 
-type t = { branches : (int * t) list }
-(** Branches sorted by colour, colours distinct. A leaf is [{branches = []}]. *)
+type t = private { tag : int; branches : (int * t) list }
+(** Branches sorted by colour, colours distinct. A leaf has
+    [branches = []]. [tag] is the arena index: equal tags iff
+    structurally equal trees. Tags depend on arena insertion order, so
+    they identify but must never {e order} views. *)
 
 val of_ec : Ld_models.Ec.t -> int -> radius:int -> t
 
+(** Tag (pointer) equality — O(1) thanks to hash-consing. *)
 val equal : t -> t -> bool
+
+(** Structural colour-lexicographic order (deterministic across runs;
+    tags are not). *)
 val compare : t -> t -> int
 
 (** Number of nodes in the tree (root included). *)

@@ -15,11 +15,15 @@
 
 type key = { out : bool; colour : int }
 
-type t = { branches : (key * t) list }
-(** Branches sorted by key; keys distinct. *)
+type t = private { tag : int; branches : (key * t) list }
+(** Branches sorted by key; keys distinct. Trees are hash-consed in a
+    global process-lifetime arena exactly as in {!View}: [tag] is the
+    arena index (equal tags iff structurally equal; never use tags for
+    ordering — they depend on insertion order). *)
 
 val of_po : Ld_models.Po.t -> int -> radius:int -> t
 
+(** Tag (pointer) equality — O(1) thanks to hash-consing. *)
 val equal : t -> t -> bool
 val size : t -> int
 val depth : t -> int

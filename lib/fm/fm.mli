@@ -62,6 +62,14 @@ val validity_violations : t -> violation list
 (** Violations of maximality, assuming feasibility. *)
 val maximality_violations : t -> violation list
 
+(** [feasibility_violations y] is exactly
+    [validity_violations y @ maximality_violations y] — same violations
+    in the same order, same counter traffic — computed with a single
+    shared node-weight pass. The adversary's per-probe check needs both
+    families, and the exact-rational [node_weights] sum dominates the
+    checker cost, so the fused form is the hot-path entry point. *)
+val feasibility_violations : t -> violation list
+
 val is_fm : t -> bool
 
 (** Feasible and maximal. *)

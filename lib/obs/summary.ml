@@ -99,6 +99,114 @@ let pp_tree fmt () =
       (List.rev !order);
     Format.fprintf fmt "@]"
 
+(* Span table restricted to one [core.lb.level] subtree, selected by the
+   ("level", i) arg the engine stamps on the span. The engine processes
+   levels sequentially, so a matching level span's [t0, t1] window
+   delimits its work exactly — including probe tasks fanned out to other
+   pool domains, which begin and end inside the window. Scoping by
+   window therefore captures the whole subtree across domains while
+   excluding sibling levels. *)
+let pp_level ~level fmt () =
+  let want = string_of_int level in
+  let events = Obs.events () in
+  (* Pass 1: the [t0, t1] windows of matching level spans (one per
+     engine run in the buffer), via per-domain stacks. *)
+  let windows = ref [] in
+  let stacks : (int, (string * int64 * bool) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  List.iter
+    (fun (e : Obs.event) ->
+      let stack = stack_of e.ev_tid in
+      match e.ev_phase with
+      | Obs.B ->
+        let matches =
+          e.ev_name = "core.lb.level"
+          && List.exists (fun (k, v) -> k = "level" && v = want) e.ev_args
+        in
+        stack := (e.ev_name, e.ev_ts, matches) :: !stack
+      | Obs.E -> (
+        match !stack with
+        | [] -> ()
+        | (_, t0, matches) :: rest ->
+          stack := rest;
+          if matches then windows := (t0, e.ev_ts) :: !windows))
+    events;
+  let in_window ts =
+    List.exists (fun (t0, t1) -> ts >= t0 && ts <= t1) !windows
+  in
+  (* Pass 2: accumulate every span beginning inside a window. *)
+  let order : string list ref = ref [] in
+  let totals : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Hashtbl.reset stacks;
+  let stacks2 : (int, (string * int64 * bool * float ref) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stack2_of tid =
+    match Hashtbl.find_opt stacks2 tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks2 tid s;
+      s
+  in
+  List.iter
+    (fun (e : Obs.event) ->
+      let stack = stack2_of e.ev_tid in
+      match e.ev_phase with
+      | Obs.B -> stack := (e.ev_name, e.ev_ts, in_window e.ev_ts, ref 0.) :: !stack
+      | Obs.E -> (
+        match !stack with
+        | [] -> ()
+        | (name, t0, in_scope, child) :: rest ->
+          stack := rest;
+          let dur = Int64.to_float (Int64.sub e.ev_ts t0) /. 1e6 in
+          (match rest with
+          | (_, _, _, pchild) :: _ -> pchild := !pchild +. dur
+          | [] -> ());
+          if in_scope then begin
+            let count, total, self =
+              match Hashtbl.find_opt totals name with
+              | Some s -> s
+              | None ->
+                let s = (ref 0, ref 0., ref 0.) in
+                Hashtbl.add totals name s;
+                order := name :: !order;
+                s
+            in
+            incr count;
+            total := !total +. dur;
+            self := !self +. (dur -. !child)
+          end))
+    events;
+  match List.rev !order with
+  | [] ->
+    Format.fprintf fmt "no spans recorded for level %d (enable the sink and \
+                        pick a level below the outcome's)@."
+      level
+  | names ->
+    Format.fprintf fmt "@[<v>spans within core.lb.level level=%d:@," level;
+    Format.fprintf fmt "  %-34s %8s %12s %12s %10s@," "name" "count" "total ms"
+      "self ms" "mean us";
+    List.iter
+      (fun name ->
+        let count, total, self = Hashtbl.find totals name in
+        Format.fprintf fmt "  %-34s %8d %12.3f %12.3f %10.1f@," name !count
+          !total !self
+          (1000. *. !total /. float_of_int !count))
+      names;
+    Format.fprintf fmt "@]"
+
 let section_ms ~prefix =
   List.filter_map
     (fun (name, (_, total, _)) ->

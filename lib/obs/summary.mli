@@ -8,6 +8,11 @@ val pp_tree : Format.formatter -> unit -> unit
 (** Span tree of the first (main) domain's buffer: nesting as recorded,
     merged by path, one line per distinct path with count and total. *)
 
+val pp_level : level:int -> Format.formatter -> unit -> unit
+(** Span table restricted to the [core.lb.level] span carrying arg
+    [("level", i)] and everything nested inside it (across domains —
+    the level's probe fan-out is included, sibling levels are not). *)
+
 val section_ms : prefix:string -> (string * float) list
 (** Total wall-clock per span whose name starts with [prefix], prefix
     stripped, in execution order — the bench uses this to fold section

@@ -28,6 +28,19 @@ let default_domains () =
       1)
   | None -> Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
 
+(* Largest worker crew any [map] of this process actually ran with —
+   what "domains" in emitted metadata should say, as opposed to the
+   [default_domains] recommendation (a map never uses more workers than
+   it has tasks). *)
+let effective_workers = Atomic.make 1
+
+let rec record_workers w =
+  let seen = Atomic.get effective_workers in
+  if w > seen && not (Atomic.compare_and_set effective_workers seen w) then
+    record_workers w
+
+let max_workers_used () = Atomic.get effective_workers
+
 let run_task f x = Obs.with_span "core.pool.task" (fun () -> f x)
 
 let map ?domains f items =
@@ -39,6 +52,7 @@ let map ?domains f items =
   let workers = Stdlib.min requested n in
   Obs.Counter.incr c_maps;
   Obs.Counter.add c_tasks n;
+  if n > 0 then record_workers workers;
   if workers <= 1 then List.map (run_task f) items
   else
     Obs.with_span

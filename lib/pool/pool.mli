@@ -31,5 +31,11 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     or the hardware default) — exposed so callers can report it. *)
 val default_domains : unit -> int
 
+(** Largest worker crew any {!map} of this process has actually run with
+    ([1] if none ran yet) — unlike {!default_domains} this reflects the
+    task-count clamp, so metadata emitted from it describes the fan-out
+    that really happened. *)
+val max_workers_used : unit -> int
+
 (** [mapi] is {!map} with the task's submission index. *)
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

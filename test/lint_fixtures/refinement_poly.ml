@@ -1,0 +1,20 @@
+(* Fixture: poly-compare hazards typical of partition-refinement code
+   (sorting blocks, grouping descriptors, snapshot diffing). Every
+   diagnostic in this file must be poly-compare. *)
+
+type block = { id : int; members : int list }
+
+(* sorting blocks with the builtin compare orders by field layout *)
+let order_blocks bs = List.sort compare bs
+
+(* descriptor rows are tuples; builtin (=) walks them structurally *)
+let same_descriptor a b = (a.id, a.members) = (b.id, b.members)
+
+(* bucketing splitter keys with the polymorphic hash *)
+let bucket_of key = Hashtbl.hash key mod 64
+
+(* label snapshots are arrays; ordering their list images is luck *)
+let ids_advanced before after = Array.to_list before < Array.to_list after
+
+(* explicit Stdlib.compare on block records is the same trap *)
+let compare_blocks (a : block) (b : block) = Stdlib.compare a b

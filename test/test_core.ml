@@ -182,6 +182,110 @@ let cached_frontier_matches_full_runs () =
       done)
     [ 2; 3; 4; 5; 6 ]
 
+let incremental_views_match_from_scratch () =
+  (* The covering-anchor incremental P1 check must be outcome-equivalent
+     to refining the full unfolded target at every level — certified
+     runs agree certificate-for-certificate, refuted runs at the same
+     level. *)
+  let same_outcome name a b =
+    match (a, b) with
+    | LB.Certified ca, LB.Certified cb ->
+      Alcotest.(check int) (name ^ " cert count") (List.length ca)
+        (List.length cb);
+      List.iter2
+        (fun (x : LB.certificate) (y : LB.certificate) ->
+          Alcotest.(check int) (name ^ " level") x.level y.level;
+          Alcotest.(check int) (name ^ " colour") x.colour y.colour;
+          Alcotest.(check int) (name ^ " g_node") x.g_node y.g_node;
+          Alcotest.(check int) (name ^ " h_node") x.h_node y.h_node;
+          Alcotest.(check bool) (name ^ " weights") true
+            (Q.equal x.g_weight y.g_weight && Q.equal x.h_weight y.h_weight);
+          Alcotest.(check bool) (name ^ " views checked") true
+            (x.views_checked && y.views_checked))
+        ca cb
+    | LB.Refuted (ca, fa), LB.Refuted (cb, fb) ->
+      Alcotest.(check int) (name ^ " fail level") fa.LB.fail_level
+        fb.LB.fail_level;
+      Alcotest.(check int) (name ^ " cert prefix") (List.length ca)
+        (List.length cb)
+    | _ -> Alcotest.fail (name ^ ": verdicts differ")
+  in
+  List.iter
+    (fun delta ->
+      same_outcome
+        (Printf.sprintf "greedy delta=%d" delta)
+        (LB.run ~incremental_views:true ~delta Packing.greedy_algorithm)
+        (LB.run ~incremental_views:false ~delta Packing.greedy_algorithm))
+    [ 2; 3; 4; 5; 6; 7 ];
+  List.iter
+    (fun r ->
+      same_outcome
+        (Printf.sprintf "truncated r=%d delta=5" r)
+        (LB.run ~incremental_views:true ~delta:5 (Packing.truncated `Greedy r))
+        (LB.run ~incremental_views:false ~delta:5 (Packing.truncated `Greedy r)))
+    [ 0; 2; 4 ]
+
+let analytic_replay_matches_cached_run () =
+  (* truncated_replay derives the outcome from the recorded colour
+     thresholds without running anything; it must agree with the
+     probe-re-running cached_run on every truncation — including the
+     failure witness. *)
+  List.iter
+    (fun delta ->
+      let cache = LB.build_cache ~delta Packing.greedy_algorithm in
+      for r = 0 to delta + 2 do
+        let name fmt = Printf.sprintf "delta=%d r=%d %s" delta r fmt in
+        let analytic = LB.truncated_replay cache ~rounds:r in
+        let rerun = LB.cached_run cache (Packing.truncated `Greedy r) in
+        (* the witness-free verdict must agree with the full replay *)
+        Alcotest.(check bool) (name "verdict matches replay") true
+          (match (LB.truncated_verdict cache ~rounds:r, analytic) with
+          | `Certified, LB.Certified _ | `Refuted, LB.Refuted _ -> true
+          | _ -> false);
+        match (analytic, rerun) with
+        | LB.Certified _, LB.Certified _ ->
+          Alcotest.(check bool) (name "certified outcome shared") true
+            (analytic == LB.cache_outcome cache)
+        | LB.Refuted (ca, fa), LB.Refuted (cb, fb) ->
+          Alcotest.(check int) (name "fail level") fb.LB.fail_level
+            fa.LB.fail_level;
+          Alcotest.(check bool) (name "fail graph") true
+            (Ec.equal fa.LB.fail_graph fb.LB.fail_graph);
+          Alcotest.(check bool) (name "fail output") true
+            (Fm.equal fa.LB.fail_output fb.LB.fail_output);
+          Alcotest.(check int) (name "violations")
+            (List.length fb.LB.fail_violations)
+            (List.length fa.LB.fail_violations);
+          Alcotest.(check string) (name "note") fb.LB.fail_note fa.LB.fail_note;
+          Alcotest.(check int) (name "cert prefix") (List.length cb)
+            (List.length ca);
+          List.iter2
+            (fun (x : LB.certificate) (y : LB.certificate) ->
+              Alcotest.(check bool) (name "prefix shared") true (x == y))
+            ca cb
+        | _ -> Alcotest.fail (name "verdicts differ")
+      done)
+    [ 2; 3; 4; 5; 6 ]
+
+let analytic_replay_validation () =
+  let cache = LB.build_cache ~delta:4 Packing.proposal_algorithm in
+  Alcotest.(check bool) "proposal cache rejected" true
+    (try
+       ignore (LB.truncated_replay cache ~rounds:3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "proposal cache rejected (verdict)" true
+    (try
+       ignore (LB.truncated_verdict cache ~rounds:3);
+       false
+     with Invalid_argument _ -> true);
+  let gcache = LB.build_cache ~delta:4 Packing.greedy_algorithm in
+  Alcotest.(check bool) "negative rounds rejected" true
+    (try
+       ignore (LB.truncated_replay gcache ~rounds:(-1));
+       false
+     with Invalid_argument _ -> true)
+
 let pool_map_is_deterministic () =
   let xs = List.init 50 Fun.id in
   Alcotest.(check (list int)) "order preserved"
@@ -468,6 +572,12 @@ let () =
             cache_shares_certificates;
           Alcotest.test_case "cached frontier = full runs" `Quick
             cached_frontier_matches_full_runs;
+          Alcotest.test_case "incremental views = from scratch" `Quick
+            incremental_views_match_from_scratch;
+          Alcotest.test_case "analytic replay = cached run" `Quick
+            analytic_replay_matches_cached_run;
+          Alcotest.test_case "analytic replay validation" `Quick
+            analytic_replay_validation;
           Alcotest.test_case "pool map deterministic" `Quick
             pool_map_is_deterministic;
         ] );

@@ -73,6 +73,33 @@ let flat_refinement_matches_reference =
       let pslow = Refinement.refine_po ~reference:true p ~rounds in
       fast = slow && pfast = pslow)
 
+(* The soundness lemma behind the engine's incremental P1 checks:
+   covering maps preserve universal-cover views at every radius, so a
+   total node is refinement-equivalent to its base image at all radii —
+   including through composed coverings. *)
+let covering_preserves_views =
+  QCheck.Test.make ~count:40
+    ~name:"covering maps preserve views at every radius (anchor soundness)"
+    (QCheck.pair (QCheck.int_range 2 7) (QCheck.int_range 0 999))
+    (fun (n, seed) ->
+      let g = random_loopy_ec ~seed n in
+      let cov = Lift.double g in
+      let cov2 = Lift.compose cov (Lift.double cov.Lift.total) in
+      let ok = ref true in
+      List.iter
+        (fun (c : Lift.covering) ->
+          for v = 0 to Ec.n c.Lift.total - 1 do
+            for r = 0 to 4 do
+              if
+                not
+                  (Refinement.equivalent_radius c.Lift.total v c.Lift.base
+                     c.Lift.map.(v) ~radius:r)
+              then ok := false
+            done
+          done)
+        [ cov; cov2 ];
+      !ok)
+
 let first_distinguishing_radius_works () =
   (* On a path with a 2-colouring, the two endpoints look alike at
      radius 0 and 1 but not deeper (one sees colour 1 first, the other
@@ -302,6 +329,7 @@ let () =
             first_distinguishing_radius_works;
           QCheck_alcotest.to_alcotest norris_stabilisation;
           QCheck_alcotest.to_alcotest flat_refinement_matches_reference;
+          QCheck_alcotest.to_alcotest covering_preserves_views;
           Alcotest.test_case "po orientation" `Quick po_refinement_sees_orientation;
         ] );
       ( "lifts",

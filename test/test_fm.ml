@@ -66,6 +66,35 @@ let violations_detected () =
   Alcotest.(check bool) "unsaturated loop flagged" true
     (List.mem (Fm.Unsaturated_loop 0) (Fm.maximality_violations y_loop))
 
+(* The fused hot-path checker must agree with the two-pass pair on
+   arbitrary (including infeasible) weight assignments: same
+   violations, same order. *)
+let fused_checker_matches_pair =
+  QCheck.Test.make ~count:120
+    ~name:"feasibility_violations = validity @ maximality (order included)"
+    (QCheck.triple (QCheck.int_range 2 12) (QCheck.int_range 1 4)
+       (QCheck.int_range 0 999))
+    (fun (n, d, seed) ->
+      let g = Gen.random_bounded_degree ~seed n d in
+      let base = Ld_models.Edge_colouring.ec_of_simple g in
+      let next = Ec.max_colour base in
+      let ec =
+        Ec.create ~n
+          ~edges:
+            (List.map (fun (e : Ec.edge) -> (e.u, e.v, e.colour)) (Ec.edges base))
+          ~loops:(List.init n (fun v -> (v, next + 1)))
+      in
+      (* deterministic, deliberately messy weights: out of range,
+         overloading, and unsaturated cases all occur across seeds *)
+      let weight i = q ((seed + (3 * i)) mod 7 - 1) 4 in
+      let y =
+        Fm.create ec
+          ~edge_w:(Array.init (Ec.num_edges ec) weight)
+          ~loop_w:(Array.init (Ec.num_loops ec) (fun i -> weight (i + 13)))
+      in
+      Fm.feasibility_violations y
+      = Fm.validity_violations y @ Fm.maximality_violations y)
+
 let node_weight_loop_counts_once () =
   let g = Ec.create ~n:1 ~edges:[] ~loops:[ (0, 1); (0, 2) ] in
   let y = Fm.create g ~edge_w:[||] ~loop_w:[| Q.half; q 1 4 |] in
@@ -278,6 +307,7 @@ let () =
         [
           Alcotest.test_case "paper example" `Quick example_maximal;
           Alcotest.test_case "violations" `Quick violations_detected;
+          QCheck_alcotest.to_alcotest fused_checker_matches_pair;
           Alcotest.test_case "loop counts once" `Quick node_weight_loop_counts_once;
         ] );
       ( "greedy",
