@@ -8,6 +8,7 @@
 module LB = Ld_core.Lower_bound
 module Pool = Ld_core.Pool
 module Obs = Ld_obs.Obs
+module Provenance = Ld_obs.Provenance
 module Trace = Ld_obs.Trace
 module Summary = Ld_obs.Summary
 module Theorem = Ld_core.Theorem
@@ -465,40 +466,19 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* Run metadata folded into the JSON artefact so a stored
-   BENCH_THM1.json identifies the code and machine shape it came from. *)
-let git_commit () =
-  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
-  (* ld-lint: allow exn-swallow — best-effort probe, absence of git is fine *)
-  | exception _ -> None
-  | ic -> (
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> Some (String.trim line)
-    | _ -> None
-    (* ld-lint: allow exn-swallow — best-effort probe, absence of git is fine *)
-    | exception _ -> None)
-
-let iso8601 t =
-  (* ld-lint: allow nondet-source — wall-clock metadata for the artefact *)
-  let tm = Unix.gmtime t in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec
-
 let emit_json ~path ~rows ~timings =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n  \"bench\": \"linear-delta-local THM1 frontier\",\n";
   add "  \"meta\": {\n";
-  add
-    (Printf.sprintf "    \"git_commit\": \"%s\",\n"
-       (json_escape (Option.value ~default:"unknown" (git_commit ()))));
+  (* Provenance (HEAD + dirty flag) comes from the shared probe so
+     this artefact and BENCH_RUNTIME.json stay schema-identical. *)
+  List.iter
+    (fun field -> add (Printf.sprintf "    %s,\n" field))
+    (Provenance.json_meta_fields (Provenance.capture ()));
   (* the crew [Pool.map] really ran with (LD_DOMAINS and the task-count
      clamp applied), not the unclamped recommendation *)
-  add (Printf.sprintf "    \"domains\": %d,\n" (Pool.max_workers_used ()));
-  (* ld-lint: allow nondet-source — wall-clock metadata for the artefact *)
-  add (Printf.sprintf "    \"timestamp\": \"%s\"\n" (iso8601 (Unix.time ())));
+  add (Printf.sprintf "    \"domains\": %d\n" (Pool.max_workers_used ()));
   add "  },\n";
   add "  \"rows\": [\n";
   List.iteri

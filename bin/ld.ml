@@ -495,6 +495,36 @@ let stats_cmd =
       const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree
       $ level)
 
+(* ---- bench-runtime ---- *)
+
+let bench_runtime common quick out =
+  with_common common @@ fun () -> Bench_runtime.run ~quick ~out
+
+let bench_runtime_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI smoke: only the $(b,10^5)-node legs plus the domain \
+                identity check.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_RUNTIME.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON artefact.")
+  in
+  Cmd.v
+    (Cmd.info "bench-runtime"
+       ~doc:
+         "Mega-scale packed-runtime throughput bench: streaming CSR \
+          instances at $(b,10^5)..$(b,10^7) nodes through the packed \
+          matching workloads, reporting sends/sec, rounds/sec, wall time \
+          and peak RSS per row. Exits nonzero if the 1-domain and \
+          multi-domain runs disagree.")
+    Term.(const bench_runtime $ common_term $ quick $ out)
+
 (* ---- lint ---- *)
 
 let lint common json list_rules paths =
@@ -549,6 +579,6 @@ let main_cmd =
          "Linear-in-Delta lower bounds in the LOCAL model — executable \
           reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
     [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
-      certify_cmd; verify_cmd; stats_cmd; lint_cmd ]
+      certify_cmd; verify_cmd; stats_cmd; bench_runtime_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

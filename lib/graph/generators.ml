@@ -208,6 +208,199 @@ let random_bounded_degree ~seed n max_deg =
   done;
   Graph.create n !es
 
+(* ---------- streaming generators ----------
+
+   Same families, built straight into [Csr.t] arrays: no tuple lists,
+   no [Graph.t], no Hashtbl-of-tuples. Each [stream_*] either consumes
+   the *identical* RNG stream as its list-based twin (so same seed =>
+   byte-identical graph, differentially tested in test_graph.ml) or is
+   deterministic. *)
+
+let stream_bounded_degree ~seed n max_deg =
+  if n < 0 || max_deg < 0 then invalid_arg "Generators.stream_bounded_degree";
+  let rng = Random.State.make [| seed; n; max_deg; 0x90d |] in
+  let deg = Array.make (Stdlib.max 1 n) 0 in
+  let total = n * (n - 1) / 2 in
+  let arr = Array.make (Stdlib.max 1 total) 0 in
+  let k = ref (total - 1) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      arr.(!k) <- (u * n) + v;
+      decr k
+    done
+  done;
+  for i = total - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  (* Greedy acceptance compacts accepted edges into the prefix of the
+     same candidate array — every RNG draw matches the list path. *)
+  let ne = ref 0 in
+  for i = 0 to total - 1 do
+    let u = arr.(i) / n and v = arr.(i) mod n in
+    if deg.(u) < max_deg && deg.(v) < max_deg && Random.State.bool rng then begin
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      let e = arr.(i) in
+      arr.(!ne) <- e;
+      incr ne
+    end
+  done;
+  Csr.of_packed_edges ~n ~deg ~packed:arr ~ne:!ne
+
+let stream_regular ~seed n d =
+  if d < 0 || d >= n || n * d mod 2 <> 0 then
+    invalid_arg "Generators.stream_regular";
+  let rng = Random.State.make [| seed; n; d; 0x2e9 |] in
+  let stubs = Array.make (Stdlib.max 1 (n * d)) 0 in
+  let es = Array.make (Stdlib.max 1 (n * d / 2)) 0 in
+  let deg = Array.make (Stdlib.max 1 n) 0 in
+  let attempt () =
+    for i = 0 to (n * d) - 1 do
+      stubs.(i) <- i / d
+    done;
+    for i = (n * d) - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- tmp
+    done;
+    (* Duplicate detection via a packed-int key table — semantically the
+       membership test of the list twin, so acceptance (and hence the
+       retry count and RNG stream position) is identical. *)
+    let seen = Hashtbl.create (n * d) in
+    let ok = ref true in
+    let ne = ref 0 in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (Stdlib.min u v * n) + Stdlib.max u v in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        es.(!ne) <- key;
+        incr ne
+      end;
+      i := !i + 2
+    done;
+    !ok
+  in
+  let rec retry k =
+    if k = 0 then failwith "Generators.stream_regular: too many retries"
+    else if attempt () then begin
+      Array.fill deg 0 n d;
+      Csr.of_packed_edges ~n ~deg ~packed:es ~ne:(n * d / 2)
+    end
+    else retry (k - 1)
+  in
+  retry 5000
+
+let stream_perm_regular ~seed n d =
+  if d < 2 || d mod 2 <> 0 || d >= n then
+    invalid_arg "Generators.stream_perm_regular";
+  let rng = Random.State.make [| seed; n; d; 0x9e4 |] in
+  (* Union of d/2 random permutation cycle covers: each permutation
+     contributes edges {v, pi v}, giving every node degree <= 2 per
+     cover. Unlike the configuration model there is no global
+     rejection — fixed points and duplicate edges are simply skipped
+     (a vanishing fraction), so generation is O(n d) at any scale.
+     The result is a simple graph of max degree <= d, near-d-regular. *)
+  let perm = Array.init n (fun i -> i) in
+  let packed = Array.make (Stdlib.max 1 (n * d / 2)) 0 in
+  let ne = ref 0 in
+  for _ = 1 to d / 2 do
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    for v = 0 to n - 1 do
+      let w = perm.(v) in
+      if v <> w then begin
+        packed.(!ne) <- (Stdlib.min v w * n) + Stdlib.max v w;
+        incr ne
+      end
+    done
+  done;
+  let packed = Array.sub packed 0 !ne in
+  Array.sort Int.compare packed;
+  (* compact adjacent duplicates (an edge drawn by two covers) *)
+  let m = ref 0 in
+  Array.iter
+    (fun e ->
+      if !m = 0 || packed.(!m - 1) <> e then begin
+        packed.(!m) <- e;
+        incr m
+      end)
+    packed;
+  let deg = Array.make (Stdlib.max 1 n) 0 in
+  for i = 0 to !m - 1 do
+    let e = packed.(i) in
+    deg.(e / n) <- deg.(e / n) + 1;
+    deg.(e mod n) <- deg.(e mod n) + 1
+  done;
+  Csr.of_packed_edges ~n ~deg ~packed ~ne:!m
+
+let stream_biregular_tree ~d ~delta n =
+  if d < 1 || delta < 1 || n < 1 then
+    invalid_arg "Generators.stream_biregular_tree";
+  (* BFS-ordered (d, delta)-biregular tree truncated at [n] nodes: the
+     root (side A) wants [d] children; below it, side-B nodes want
+     [delta - 1] and side-A nodes [d - 1]. Children get consecutive
+     ids, so every segment is [parent; children...] — ascending. The
+     parent edge of the [i]-th child carries the [i+1]-th colour not
+     used by the parent's own parent edge, which keeps the colouring
+     proper with at most [max d delta] colours. *)
+  let parent = Array.make n (-1) in
+  let side = Array.make n 0 in
+  let pcol = Array.make n 0 in
+  let kids = Array.make n 0 in
+  let first = Array.make n 0 in
+  let next = ref 1 in
+  for v = 0 to n - 1 do
+    let want =
+      if v = 0 then d else if side.(v) = 1 then delta - 1 else d - 1
+    in
+    let k = Stdlib.min want (n - !next) in
+    kids.(v) <- k;
+    first.(v) <- !next;
+    for i = 0 to k - 1 do
+      let c = !next + i in
+      parent.(c) <- v;
+      side.(c) <- 1 - side.(v);
+      let col = i + 1 in
+      pcol.(c) <- (if pcol.(v) > 0 && col >= pcol.(v) then col + 1 else col)
+    done;
+    next := !next + k
+  done;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let dg = kids.(v) + if v = 0 then 0 else 1 in
+    row.(v + 1) <- row.(v) + dg
+  done;
+  let nd = row.(n) in
+  let endpoint = Array.make (Stdlib.max 1 nd) 0 in
+  let colour = Array.make (Stdlib.max 1 nd) 0 in
+  for v = 0 to n - 1 do
+    let base = ref row.(v) in
+    if v > 0 then begin
+      endpoint.(!base) <- parent.(v);
+      colour.(!base) <- pcol.(v);
+      incr base
+    end;
+    for i = 0 to kids.(v) - 1 do
+      let c = first.(v) + i in
+      endpoint.(!base + i) <- c;
+      colour.(!base + i) <- pcol.(c)
+    done
+  done;
+  let endpoint = if nd = 0 then [||] else endpoint in
+  let colour = if nd = 0 then [||] else colour in
+  { Csr.n; row; endpoint; colour; m = nd / 2 }
+
 let bench_families =
   let clamp lo v = Stdlib.max lo v in
   [

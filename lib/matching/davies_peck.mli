@@ -1,0 +1,51 @@
+(** Davies–Peck-style degree-class decomposition schedule over
+    Israeli–Itai propose/respond dynamics: phase [j] lets only nodes
+    of live degree in (Δ/2^{j+1}, Δ/2^j] propose, then an
+    unrestricted cleanup runs to maximality. Matched endpoints form a
+    2-approximate vertex cover. Packed and boxed twins draw from the
+    same {!Ld_runtime.Packed.Coin} stream, so the comparison is exact
+    (mates and rounds) at any [LD_DOMAINS]. Degrees must be <= 62. *)
+
+type schedule = {
+  delta : int;  (** max degree the class boundaries are derived from *)
+  iters_per_class : int;  (** propose/respond iterations per class *)
+}
+
+(** Bit length of [delta] — the number of degree classes before the
+    unrestricted cleanup. *)
+val classes : int -> int
+
+type result = {
+  mate : int array;  (** matched far endpoint, or -1 if unmatched *)
+  rounds : int;
+}
+
+val machine : seed:int -> sched:schedule -> Ld_runtime.Packed.Port.machine
+
+(** [run ?sched ~seed ~max_rounds g] — [sched] defaults to
+    [{delta = max_degree g; iters_per_class = 2}].
+    @raise Failure if some node has not halted after [max_rounds]. *)
+val run :
+  ?par_threshold:int ->
+  ?domains:int ->
+  ?sched:schedule ->
+  seed:int ->
+  max_rounds:int ->
+  Ld_graph.Csr.t ->
+  result * Ld_runtime.Packed.stats
+
+(** Boxed twin on the [Sync] engine — the differential oracle. *)
+val reference_run :
+  ?sched:schedule ->
+  seed:int ->
+  max_rounds:int ->
+  Ld_graph.Graph.t ->
+  delta:int ->
+  result
+
+(** [cover r] — node is in the cover iff matched. *)
+val cover : result -> bool array
+
+(** Every edge has a matched endpoint (true once the cleanup ran to
+    maximality). *)
+val is_vertex_cover : Ld_graph.Csr.t -> result -> bool

@@ -1,0 +1,18 @@
+(** Packed-state port of the greedy-by-colour maximal matching
+    ([Mm_ec]) on the {!Ld_runtime.Packed.Broadcast} executor. The
+    boxed [Mm_ec.greedy] is the differential oracle: on any graph,
+    [matched_colour] must equal its result (with [-1] for [None]) and
+    [rounds] must agree, at any domain count. *)
+
+type result = {
+  matched_colour : int array;  (** colour matched through, or -1 *)
+  rounds : int;
+}
+
+val machine : Ld_runtime.Packed.Broadcast.machine
+
+val greedy :
+  ?par_threshold:int ->
+  ?domains:int ->
+  Ld_models.Ec.t ->
+  result * Ld_runtime.Packed.stats

@@ -1,0 +1,276 @@
+module Ec = Ld_models.Ec
+module Q = Ld_arith.Q
+module Fm = Ld_fm.Fm
+module Packed = Ld_runtime.Packed
+
+(* Packed ports of the two fractional-matching packing machines
+   ([Packing.greedy_machine], [Packing.proposal_machine]). Weights,
+   slacks and offers are exact rationals stored as reduced (num, den)
+   int pairs inside the state slice; all operations are
+   overflow-checked and raise rather than silently wrap, so a packed
+   run either agrees exactly with the boxed [Ld_arith.Q] oracle or
+   fails loudly. With unit initial slack the greedy machine only ever
+   produces 0/1 weights, and the proposal machine's denominators are
+   bounded by products of live-colour counts — well within 62 bits for
+   the truncated mega-scale runs the bench performs. *)
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Reduced nonnegative rationals packed in two int words. The
+   canonical zero is (0, 1); a (_, 0) pair is "absent" (a colour this
+   node does not carry). *)
+module Rat = struct
+  let check_mul a b =
+    if a = 0 || b = 0 then 0
+    else begin
+      let r = a * b in
+      if r / a <> b || r < 0 then raise Overflow;
+      r
+    end
+
+  let check_add a b =
+    let s = a + b in
+    if s < 0 then raise Overflow;
+    s
+
+  let reduce n d =
+    if n = 0 then (0, 1)
+    else begin
+      let g = gcd n d in
+      (n / g, d / g)
+    end
+
+  let add (an, ad) (bn, bd) =
+    reduce (check_add (check_mul an bd) (check_mul bn ad)) (check_mul ad bd)
+
+  (* [sub a b] requires [a >= b] (slack never goes negative). *)
+  let sub (an, ad) (bn, bd) =
+    let n = check_mul an bd - check_mul bn ad in
+    if n < 0 then invalid_arg "Packed_packing.Rat.sub: negative";
+    reduce n (check_mul ad bd)
+
+  let min (an, ad) (bn, bd) =
+    if check_mul an bd <= check_mul bn ad then (an, ad) else (bn, bd)
+
+  let div_int (an, ad) k = reduce an (check_mul ad k)
+  let is_zero (n, _) = n = 0
+end
+
+let popcount x =
+  let c = ref 0 in
+  let y = ref x in
+  while !y <> 0 do
+    y := !y land (!y - 1);
+    incr c
+  done;
+  !c
+
+(* ---------- greedy by colour ---------- *)
+
+(* State slice: [phase; last; slackN; slackD; (wN, wD) per colour
+   1..cmax]. Broadcast: the node's current slack. *)
+
+let g_stride cmax = 4 + (2 * cmax)
+
+let greedy_machine ~cmax : Packed.Broadcast.machine =
+  let sw = g_stride cmax in
+  {
+    state_words = sw;
+    msg_words = 2;
+    init =
+      (fun ~csr ~st ~node ->
+        let b = node * sw in
+        let lo = csr.Ec.row.(node) and hi = csr.Ec.row.(node + 1) in
+        st.(b) <- 1;
+        st.(b + 1) <- (if hi > lo then csr.Ec.colour.(hi - 1) else 0);
+        st.(b + 2) <- 1;
+        st.(b + 3) <- 1;
+        for d = lo to hi - 1 do
+          let c = csr.Ec.colour.(d) in
+          st.(b + 4 + (2 * (c - 1))) <- 0;
+          st.(b + 5 + (2 * (c - 1))) <- 1
+        done);
+    send =
+      (fun ~st ~out ~node ->
+        let b = node * sw in
+        out.(2 * node) <- st.(b + 2);
+        out.((2 * node) + 1) <- st.(b + 3));
+    recv =
+      (fun ~csr ~st ~out ~node ->
+        let b = node * sw in
+        let phase = st.(b) in
+        let lo = ref csr.Ec.row.(node) and hi = ref csr.Ec.row.(node + 1) in
+        let found = ref (-1) in
+        while !found < 0 && !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let c = csr.Ec.colour.(mid) in
+          if c = phase then found := mid
+          else if c < phase then lo := mid + 1
+          else hi := mid
+        done;
+        (if !found >= 0 then begin
+           let far = csr.Ec.other.(!found) in
+           let slack = (st.(b + 2), st.(b + 3)) in
+           let their = (out.(2 * far), out.((2 * far) + 1)) in
+           let wn, wd = Rat.min slack their in
+           st.(b + 4 + (2 * (phase - 1))) <- wn;
+           st.(b + 5 + (2 * (phase - 1))) <- wd;
+           let sn, sd = Rat.sub slack (wn, wd) in
+           st.(b + 2) <- sn;
+           st.(b + 3) <- sd
+         end);
+        st.(b) <- phase + 1);
+    halted = (fun ~st ~node -> st.(node * sw) > st.((node * sw) + 1));
+  }
+
+(* ---------- simultaneous proposal ---------- *)
+
+(* State slice: [slackN; slackD; offerN; offerD; dead mask; own mask;
+   (wN, wD) per colour 1..cmax]. Colour c occupies mask bit (c - 1),
+   so cmax must be <= 62 — true for every greedy-coloured family
+   (cmax <= 2 max_deg - 1). Message: [offerN; offerD; sat]. *)
+
+let p_stride cmax = 6 + (2 * cmax)
+
+let set_offer ~st ~b =
+  let live = st.(b + 5) land lnot st.(b + 4) in
+  let count = popcount live in
+  if count = 0 || st.(b) = 0 then begin
+    st.(b + 2) <- 0;
+    st.(b + 3) <- 1
+  end
+  else begin
+    let on, od = Rat.div_int (st.(b), st.(b + 1)) count in
+    st.(b + 2) <- on;
+    st.(b + 3) <- od
+  end
+
+let proposal_machine ~cmax : Packed.Broadcast.machine =
+  if cmax > 62 then invalid_arg "Packed_packing.proposal_machine: cmax > 62";
+  let sw = p_stride cmax in
+  {
+    state_words = sw;
+    msg_words = 3;
+    init =
+      (fun ~csr ~st ~node ->
+        let b = node * sw in
+        st.(b) <- 1;
+        st.(b + 1) <- 1;
+        st.(b + 4) <- 0;
+        let own = ref 0 in
+        for d = csr.Ec.row.(node) to csr.Ec.row.(node + 1) - 1 do
+          let c = csr.Ec.colour.(d) in
+          own := !own lor (1 lsl (c - 1));
+          st.(b + 6 + (2 * (c - 1))) <- 0;
+          st.(b + 7 + (2 * (c - 1))) <- 1
+        done;
+        st.(b + 5) <- !own;
+        set_offer ~st ~b);
+    send =
+      (fun ~st ~out ~node ->
+        let b = node * sw in
+        out.(3 * node) <- st.(b + 2);
+        out.((3 * node) + 1) <- st.(b + 3);
+        out.((3 * node) + 2) <- (if st.(b) = 0 then 1 else 0));
+    recv =
+      (fun ~csr ~st ~out ~node ->
+        let b = node * sw in
+        let offer = (st.(b + 2), st.(b + 3)) in
+        let i_am_sat = st.(b) = 0 in
+        let dead = st.(b + 4) in
+        let lo = csr.Ec.row.(node) and hi = csr.Ec.row.(node + 1) in
+        let gained = ref (0, 1) in
+        for d = lo to hi - 1 do
+          let c = csr.Ec.colour.(d) in
+          if dead land (1 lsl (c - 1)) = 0 then begin
+            let far = csr.Ec.other.(d) in
+            let inc =
+              Rat.min offer (out.(3 * far), out.((3 * far) + 1))
+            in
+            if not (Rat.is_zero inc) then begin
+              let w = b + 6 + (2 * (c - 1)) in
+              let n', d' = Rat.add (st.(w), st.(w + 1)) inc in
+              st.(w) <- n';
+              st.(w + 1) <- d'
+            end;
+            gained := Rat.add !gained inc
+          end
+        done;
+        let sn, sd = Rat.sub (st.(b), st.(b + 1)) !gained in
+        st.(b) <- sn;
+        st.(b + 1) <- sd;
+        let now_sat = sn = 0 in
+        let dead' = ref dead in
+        for d = lo to hi - 1 do
+          let c = csr.Ec.colour.(d) in
+          let bit = 1 lsl (c - 1) in
+          if
+            !dead' land bit = 0
+            && (i_am_sat || now_sat || out.((3 * csr.Ec.other.(d)) + 2) = 1)
+          then dead' := !dead' lor bit
+        done;
+        st.(b + 4) <- !dead';
+        set_offer ~st ~b);
+    halted =
+      (fun ~st ~node ->
+        let b = node * sw in
+        st.(b + 5) land lnot st.(b + 4) = 0);
+  }
+
+(* ---------- extraction (small graphs / differential tests) ---------- *)
+
+let weight_at ~stride ~base_off st v c =
+  let w = (v * stride) + base_off + (2 * (c - 1)) in
+  if st.(w + 1) = 0 then Q.zero
+  else Q.div (Q.of_int st.(w)) (Q.of_int st.(w + 1))
+
+let fm_of_packed g ~stride ~base_off st =
+  let edge_w =
+    Array.of_list
+      (List.map
+         (fun (e : Ec.edge) ->
+           let wu = weight_at ~stride ~base_off st e.u e.colour in
+           let wv = weight_at ~stride ~base_off st e.v e.colour in
+           assert (Q.equal wu wv);
+           wu)
+         (Ec.edges g))
+  in
+  let loop_w =
+    Array.of_list
+      (List.map
+         (fun (l : Ec.loop) -> weight_at ~stride ~base_off st l.node l.colour)
+         (Ec.loops g))
+  in
+  Fm.create g ~edge_w ~loop_w
+
+let greedy ?truncate ?par_threshold ?domains g =
+  let cmax = Ec.max_colour g in
+  let rounds =
+    match truncate with
+    | None -> cmax
+    | Some r ->
+      if r < 0 then invalid_arg "Packed_packing.greedy";
+      Stdlib.min r cmax
+  in
+  let st, stats, _ =
+    Packed.Broadcast.run_until ?par_threshold ?domains (greedy_machine ~cmax)
+      ~max_rounds:rounds g
+  in
+  (fm_of_packed g ~stride:(g_stride cmax) ~base_off:4 st, stats)
+
+let proposal ?truncate ?par_threshold ?domains g =
+  let cmax = Ec.max_colour g in
+  let max_rounds =
+    match truncate with
+    | None -> Ec.n g + 2
+    | Some r ->
+      if r < 0 then invalid_arg "Packed_packing.proposal";
+      r
+  in
+  let st, stats, _ =
+    Packed.Broadcast.run_until ?par_threshold ?domains
+      (proposal_machine ~cmax) ~max_rounds g
+  in
+  (fm_of_packed g ~stride:(p_stride cmax) ~base_off:6 st, stats)

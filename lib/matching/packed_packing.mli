@@ -1,0 +1,37 @@
+(** Packed-state ports of the packing machines ([Packing]):
+    greedy-by-colour and simultaneous proposal, with exact rationals
+    stored as reduced (num, den) int pairs in the state slice. All
+    rational arithmetic is overflow-checked: a packed run either
+    agrees exactly with the boxed [Ld_arith.Q] oracle (differential
+    tests compare the resulting fractional matchings with [Fm.equal])
+    or raises {!Overflow}. *)
+
+exception Overflow
+
+(** [greedy_machine ~cmax] — [cmax] is [Ec.max_colour] of the target
+    graph (the stride of the per-colour weight table). *)
+val greedy_machine : cmax:int -> Ld_runtime.Packed.Broadcast.machine
+
+(** [proposal_machine ~cmax] — dead/own colour sets are bitmasks, so
+    [cmax <= 62] is required (every greedy-coloured family satisfies
+    this for Δ <= 31). @raise Invalid_argument otherwise. *)
+val proposal_machine : cmax:int -> Ld_runtime.Packed.Broadcast.machine
+
+(** Run greedy-by-colour packing and extract the fractional matching
+    (forces the edge view — small graphs / tests; the bench drives
+    the machine directly). *)
+val greedy :
+  ?truncate:int ->
+  ?par_threshold:int ->
+  ?domains:int ->
+  Ld_models.Ec.t ->
+  Ld_fm.Fm.t * Ld_runtime.Packed.stats
+
+(** Run simultaneous proposal (untruncated: [n + 2] round cap, as the
+    boxed path). *)
+val proposal :
+  ?truncate:int ->
+  ?par_threshold:int ->
+  ?domains:int ->
+  Ld_models.Ec.t ->
+  Ld_fm.Fm.t * Ld_runtime.Packed.stats

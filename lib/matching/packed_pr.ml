@@ -1,0 +1,236 @@
+module Csr = Ld_graph.Csr
+module Packed = Ld_runtime.Packed
+module Pr = Panconesi_rizzi
+module Cv = Cole_vishkin
+
+(* Packed port of the Panconesi–Rizzi maximal matching. The round
+   schedule is [Pr.schedule] verbatim — the boxed [Pr.run] over
+   [Id.trivial] ids is the differential oracle, and because the
+   algorithm is deterministic the two must agree exactly on mates and
+   rounds. Identifiers are the node indices, so they need no storage.
+
+   State slice (5 + 5 Δ words):
+     [0]              round
+     [1]              matched port, or -1
+     [2]              accept port, or -1
+     [3        .. +Δ) nbr_ids        (port -> far id)
+     [3 +  Δ   .. +Δ) forest_of_out  (port -> forest, 1-based, or 0)
+     [3 + 2Δ   .. +Δ) forest_of_in   (port -> forest or 0)
+     [3 + 3Δ .. +Δ+1) parent_port    (forest -> port or -1; 0 unused)
+     [4 + 4Δ .. +Δ+1) colours        (forest -> colour; 0 unused)
+
+   Message slice (Δ + 3 words): [mi; flags; colours]. Every round's
+   send rewrites the whole slice (blanks included), so a recv never
+   reads a stale field from an earlier round kind. *)
+
+let flag_matched = 1
+let flag_propose = 2
+let flag_accept = 4
+
+type layout = {
+  delta : int;
+  sw : int;  (* 5 + 5 delta *)
+  mw : int;  (* delta + 3 *)
+  o_nbr : int;
+  o_fout : int;
+  o_fin : int;
+  o_parent : int;
+  o_col : int;
+}
+
+let layout delta =
+  {
+    delta;
+    sw = 5 + (5 * delta);
+    mw = delta + 3;
+    o_nbr = 3;
+    o_fout = 3 + delta;
+    o_fin = 3 + (2 * delta);
+    o_parent = 3 + (3 * delta);
+    o_col = 4 + (4 * delta);
+  }
+
+let proposes l st b f c =
+  st.(b + 1) < 0 && st.(b + l.o_parent + f) >= 0 && st.(b + l.o_col + f) = c
+
+let machine ~(sched : Pr.round_kind array) ~delta : Packed.Port.machine =
+  let l = layout delta in
+  let n_rounds = Array.length sched in
+  {
+    state_words = l.sw;
+    msg_words = l.mw;
+    init =
+      (fun ~g:_ ~st ~node ->
+        let b = node * l.sw in
+        st.(b) <- 0;
+        st.(b + 1) <- -1;
+        st.(b + 2) <- -1;
+        for i = 0 to delta - 1 do
+          st.(b + l.o_nbr + i) <- -1;
+          st.(b + l.o_fout + i) <- 0;
+          st.(b + l.o_fin + i) <- 0
+        done;
+        for f = 0 to delta do
+          st.(b + l.o_parent + f) <- -1;
+          st.(b + l.o_col + f) <- node
+        done);
+    send =
+      (fun ~g ~st ~out ~node ->
+        let b = node * l.sw in
+        let round = st.(b) in
+        let lo = g.Csr.row.(node) and hi = g.Csr.row.(node + 1) in
+        for d = lo to hi - 1 do
+          let port = d - lo in
+          let m = d * l.mw in
+          (* blank slice *)
+          out.(m) <- -1;
+          out.(m + 1) <- 0;
+          for f = 0 to delta do
+            out.(m + 2 + f) <- 0
+          done;
+          if round < n_rounds then begin
+            match sched.(round) with
+            | Pr.R_learn_ids -> out.(m) <- node
+            | Pr.R_learn_forests -> out.(m) <- st.(b + l.o_fout + port)
+            | Pr.R_cv | Pr.R_shift | Pr.R_eliminate _ ->
+              for f = 0 to delta do
+                out.(m + 2 + f) <- st.(b + l.o_col + f)
+              done
+            | Pr.R_propose (f, c) ->
+              out.(m + 1) <-
+                (if st.(b + 1) >= 0 then flag_matched else 0)
+                lor
+                (if proposes l st b f c && st.(b + l.o_parent + f) = port then
+                   flag_propose
+                 else 0)
+            | Pr.R_respond _ ->
+              out.(m + 1) <-
+                (if st.(b + 1) >= 0 then flag_matched else 0)
+                lor (if st.(b + 2) = port then flag_accept else 0)
+          end
+        done);
+    recv =
+      (fun ~g ~back ~st ~out ~node ->
+        let b = node * l.sw in
+        let round = st.(b) in
+        let lo = g.Csr.row.(node) in
+        let deg = g.Csr.row.(node + 1) - lo in
+        (* base of the message arriving on port [p] *)
+        let inbox p =
+          let d = lo + p in
+          (g.Csr.row.(g.Csr.endpoint.(d)) + back.(d)) * l.mw
+        in
+        (match sched.(round) with
+        | Pr.R_learn_ids ->
+          let next = ref 0 in
+          for p = 0 to deg - 1 do
+            let mi = out.(inbox p) in
+            st.(b + l.o_nbr + p) <- mi;
+            if mi > node then begin
+              incr next;
+              st.(b + l.o_fout + p) <- !next;
+              st.(b + l.o_parent + !next) <- p
+            end
+          done
+        | Pr.R_learn_forests ->
+          for p = 0 to deg - 1 do
+            if st.(b + l.o_nbr + p) < node then
+              st.(b + l.o_fin + p) <- out.(inbox p)
+          done
+        | Pr.R_cv ->
+          (* Per-forest updates read only forest [f] data, so in-place
+             writes are safe. *)
+          for f = 1 to delta do
+            let mine = st.(b + l.o_col + f) in
+            let parent =
+              match st.(b + l.o_parent + f) with
+              | -1 -> Cv.virtual_parent mine
+              | p -> out.(inbox p + 2 + f)
+            in
+            st.(b + l.o_col + f) <- Cv.step ~mine ~parent
+          done
+        | Pr.R_shift ->
+          for f = 1 to delta do
+            let mine = st.(b + l.o_col + f) in
+            st.(b + l.o_col + f) <-
+              (match st.(b + l.o_parent + f) with
+              | -1 -> if mine >= 3 then 0 else (mine + 1) mod 3
+              | p -> out.(inbox p + 2 + f))
+          done
+        | Pr.R_eliminate c ->
+          for f = 1 to delta do
+            if st.(b + l.o_col + f) = c then begin
+              (* Colours here are < 6; collect the neighbourhood's as
+                 a bitmask and take the lowest clear bit, which equals
+                 the boxed machine's smallest-not-in-avoid-list pick. *)
+              let avoid = ref 0 in
+              (match st.(b + l.o_parent + f) with
+              | -1 -> ()
+              | p -> avoid := !avoid lor (1 lsl out.(inbox p + 2 + f)));
+              for p = 0 to deg - 1 do
+                if st.(b + l.o_fin + p) = f then
+                  avoid := !avoid lor (1 lsl out.(inbox p + 2 + f))
+              done;
+              let x = ref 0 in
+              while !avoid land (1 lsl !x) <> 0 do
+                incr x
+              done;
+              st.(b + l.o_col + f) <- !x
+            end
+          done
+        | Pr.R_propose (f, c) ->
+          if not (st.(b + 1) >= 0 || proposes l st b f c) then begin
+            let accept = ref (-1) in
+            let p = ref 0 in
+            while !accept < 0 && !p < deg do
+              let m = inbox !p in
+              if
+                out.(m + 1) land flag_propose <> 0
+                && out.(m + 1) land flag_matched = 0
+              then accept := !p;
+              incr p
+            done;
+            st.(b + 2) <- !accept
+          end
+        | Pr.R_respond (f, c) ->
+          let matched =
+            if st.(b + 1) >= 0 then st.(b + 1)
+            else if st.(b + 2) >= 0 then st.(b + 2)
+            else if proposes l st b f c then begin
+              let pp = st.(b + l.o_parent + f) in
+              if out.(inbox pp + 1) land flag_accept <> 0 then pp else -1
+            end
+            else -1
+          in
+          st.(b + 1) <- matched;
+          st.(b + 2) <- -1);
+        st.(b) <- round + 1);
+    halted = (fun ~st ~node -> st.(node * l.sw) >= n_rounds);
+  }
+
+type result = { mate : int array; rounds : int; cv_iterations : int }
+
+let run ?par_threshold ?domains g =
+  let n = g.Csr.n in
+  let delta = Stdlib.max 1 (Csr.max_degree g) in
+  let id_bits = Cv.bits_needed (Stdlib.max 0 (n - 1)) in
+  let sched = Pr.schedule ~delta ~id_bits in
+  let st, stats, all_halted =
+    Packed.Port.run_until ?par_threshold ?domains (machine ~sched ~delta)
+      ~max_rounds:(Array.length sched) g
+  in
+  if not all_halted then failwith "Packed_pr.run: nodes failed to halt";
+  let sw = 5 + (5 * delta) in
+  let mate =
+    Array.init n (fun v ->
+        let p = st.((v * sw) + 1) in
+        if p < 0 then -1 else g.Csr.endpoint.(g.Csr.row.(v) + p))
+  in
+  Array.iteri
+    (fun v w ->
+      if w >= 0 && mate.(w) <> v then
+        failwith "Packed_pr: asymmetric matching (protocol bug)")
+    mate;
+  ( { mate; rounds = stats.Packed.rounds;
+      cv_iterations = Cv.iterations_for_bits id_bits },
+    stats )

@@ -1,0 +1,23 @@
+(** Packed-state port of the Panconesi–Rizzi maximal matching
+    ([Panconesi_rizzi]) on the {!Ld_runtime.Packed.Port} executor,
+    replaying [Panconesi_rizzi.schedule] verbatim with node indices as
+    identifiers. Deterministic, so the boxed [Panconesi_rizzi.run]
+    over [Id.trivial] ids is an exact differential oracle: mates and
+    rounds must agree at any [LD_DOMAINS]. *)
+
+val machine :
+  sched:Panconesi_rizzi.round_kind array ->
+  delta:int ->
+  Ld_runtime.Packed.Port.machine
+
+type result = {
+  mate : int array;  (** matched far endpoint, or -1 if unmatched *)
+  rounds : int;
+  cv_iterations : int;
+}
+
+val run :
+  ?par_threshold:int ->
+  ?domains:int ->
+  Ld_graph.Csr.t ->
+  result * Ld_runtime.Packed.stats

@@ -19,6 +19,24 @@
       so after phase [(f, c)] every forest-[f] edge whose child has
       colour [c] has a matched endpoint — maximality follows. *)
 
+(** One entry of the deterministic round schedule. Exposed so the
+    packed port ([Packed_pr]) replays exactly the same schedule as the
+    boxed machine instead of re-deriving it. *)
+type round_kind =
+  | R_learn_ids
+  | R_learn_forests
+  | R_cv
+  | R_shift
+  | R_eliminate of int
+  | R_propose of int * int  (** forest, colour *)
+  | R_respond of int * int
+
+(** [schedule ~delta ~id_bits] — the full round schedule: forest
+    decomposition, Cole–Vishkin to 6 colours, shift-down/eliminate to
+    3, then the [6 Δ] propose/respond phases. Every node halts at
+    round [Array.length (schedule ~delta ~id_bits)]. *)
+val schedule : delta:int -> id_bits:int -> round_kind array
+
 type result = {
   mate : int option array;
   rounds : int;

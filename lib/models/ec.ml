@@ -19,11 +19,20 @@ type csr = {
   code : int array;
 }
 
+(* The CSR is the primary representation: it is what every hot path
+   iterates, and at mega-scale (10^6..10^7 nodes, built by
+   [of_csr] from a streamed [Ld_graph.Csr.t]) it is the only part we
+   can afford to materialise eagerly. The record/list views — [edges],
+   [loops], [darts] — are derived lazily; graphs built through the
+   classic constructors wrap their eager arrays in [Lazy.from_val], so
+   nothing changes for the adversary paths. *)
 type t = {
   n : int;
-  edges : edge array;
-  loops : loop array;
-  darts : dart list array; (* per node, sorted by colour *)
+  n_edges : int;
+  n_loops : int;
+  edges : edge array Lazy.t;
+  loops : loop array Lazy.t;
+  darts : dart list array Lazy.t; (* per node, sorted by colour *)
   csr : csr;
 }
 
@@ -89,7 +98,15 @@ let build n edges loops =
       check sorted;
       darts.(v) <- sorted)
     darts;
-  { n; edges; loops; darts; csr = csr_of_darts n darts }
+  {
+    n;
+    n_edges = Array.length edges;
+    n_loops = Array.length loops;
+    edges = Lazy.from_val edges;
+    loops = Lazy.from_val loops;
+    darts = Lazy.from_val darts;
+    csr = csr_of_darts n darts;
+  }
 
 let validated n edges loops =
   if n < 0 then invalid_arg "Ec.create: negative n";
@@ -119,13 +136,13 @@ let create_arrays ~n ~edges ~loops =
   validated n (Array.copy edges) (Array.copy loops)
 
 let n g = g.n
-let num_edges g = Array.length g.edges
-let num_loops g = Array.length g.loops
-let edge g id = g.edges.(id)
-let loop g id = g.loops.(id)
-let edges g = Array.to_list g.edges
-let loops g = Array.to_list g.loops
-let darts g v = g.darts.(v)
+let num_edges g = g.n_edges
+let num_loops g = g.n_loops
+let edge g id = (Lazy.force g.edges).(id)
+let loop g id = (Lazy.force g.loops).(id)
+let edges g = Array.to_list (Lazy.force g.edges)
+let loops g = Array.to_list (Lazy.force g.loops)
+let darts g v = (Lazy.force g.darts).(v)
 let csr g = g.csr
 
 (* Reconstruct the dart at CSR index [d]. *)
@@ -160,15 +177,17 @@ let max_degree g =
   !best
 
 let max_colour g =
+  (* Every edge and loop contributes at least one dart, so the CSR
+     colour array covers all colours in use — no need to force the
+     record views. *)
   let c = ref 0 in
-  Array.iter (fun (e : edge) -> c := Stdlib.max !c e.colour) g.edges;
-  Array.iter (fun (l : loop) -> c := Stdlib.max !c l.colour) g.loops;
+  Array.iter (fun dc -> c := Stdlib.max !c dc) g.csr.colour;
   !c
 
 let loops_at g v =
   List.filter_map
     (function Into_loop { loop_id; _ } -> Some loop_id | To_neighbour _ -> None)
-    g.darts.(v)
+    (Lazy.force g.darts).(v)
 
 let min_loops g =
   if g.n = 0 then 0
@@ -186,28 +205,32 @@ let min_loops g =
   end
 
 let remove_loop g id =
-  if id < 0 || id >= Array.length g.loops then invalid_arg "Ec.remove_loop";
+  if id < 0 || id >= g.n_loops then invalid_arg "Ec.remove_loop";
+  let gl = Lazy.force g.loops in
   let loops =
-    Array.init
-      (Array.length g.loops - 1)
-      (fun i -> if i < id then g.loops.(i) else g.loops.(i + 1))
+    Array.init (g.n_loops - 1) (fun i -> if i < id then gl.(i) else gl.(i + 1))
   in
-  build g.n g.edges loops
+  build g.n (Lazy.force g.edges) loops
 
 let disjoint_union a b =
   let shift = a.n in
   let edges =
-    Array.append a.edges
-      (Array.map (fun e -> { e with u = e.u + shift; v = e.v + shift }) b.edges)
+    Array.append (Lazy.force a.edges)
+      (Array.map
+         (fun e -> { e with u = e.u + shift; v = e.v + shift })
+         (Lazy.force b.edges))
   in
   let loops =
-    Array.append a.loops (Array.map (fun l -> { l with node = l.node + shift }) b.loops)
+    Array.append (Lazy.force a.loops)
+      (Array.map (fun l -> { l with node = l.node + shift }) (Lazy.force b.loops))
   in
   build (a.n + b.n) edges loops
 
 let add_edge g (u, v, colour) =
   if u = v then invalid_arg "Ec.add_edge: self-edge";
-  build g.n (Array.append g.edges [| { u; v; colour } |]) g.loops
+  build g.n
+    (Array.append (Lazy.force g.edges) [| { u; v; colour } |])
+    (Lazy.force g.loops)
 
 let of_simple sg ~colour =
   let module G = Ld_graph.Graph in
@@ -217,9 +240,12 @@ let of_simple sg ~colour =
   create ~n:(G.n sg) ~edges ~loops:[]
 
 let to_simple g =
-  if Array.length g.loops > 0 then invalid_arg "Ec.to_simple: graph has loops";
+  if g.n_loops > 0 then invalid_arg "Ec.to_simple: graph has loops";
   Ld_graph.Graph.create g.n
-    (Array.to_list (Array.map (fun e -> (Stdlib.min e.u e.v, Stdlib.max e.u e.v)) g.edges))
+    (Array.to_list
+       (Array.map
+          (fun e -> (Stdlib.min e.u e.v, Stdlib.max e.u e.v))
+          (Lazy.force g.edges)))
 
 let canonical_edge e =
   (Stdlib.min e.u e.v, Stdlib.max e.u e.v, e.colour)
@@ -252,8 +278,106 @@ let pp fmt g =
   Format.fprintf fmt "@[<v>ec-graph n=%d@," g.n;
   Array.iter
     (fun e -> Format.fprintf fmt "  edge %d-%d colour %d@," e.u e.v e.colour)
-    g.edges;
+    (Lazy.force g.edges);
   Array.iter
     (fun l -> Format.fprintf fmt "  loop @@%d colour %d@," l.node l.colour)
-    g.loops;
+    (Lazy.force g.loops);
   Format.fprintf fmt "@]"
+
+(* ---------- streaming constructor ----------
+
+   Lift a streamed simple-graph CSR ([Ld_graph.Csr.t], endpoint-sorted
+   segments, proper colouring) into the EC model without building any
+   edge records, tuple lists, or dart lists: only the four CSR arrays
+   are materialised. Edge ids are assigned in sorted-(u, v) order —
+   the same ids [of_simple] would produce via [Graph.edges] — and each
+   segment is permuted to ascending colour order, which is the
+   invariant every runner and the refinement core relies on. The
+   record/list views stay lazy; forcing them on a 10^7-node graph is a
+   programming error the memory profile will surface quickly. *)
+let of_csr (c : Ld_graph.Csr.t) =
+  let n = c.Ld_graph.Csr.n in
+  let srow = c.Ld_graph.Csr.row in
+  let send = c.Ld_graph.Csr.endpoint in
+  let scol = c.Ld_graph.Csr.colour in
+  let nd = srow.(n) in
+  let back = Ld_graph.Csr.back c in
+  (* Pass 1: edge ids in [Graph.edges] order — ascending [u] but
+     {e descending} [v] within each block (its downto-and-cons
+     construction), which is the id order [of_simple] assigns. Hence
+     the inner walk runs each segment in reverse, taking the darts
+     with [v < w] (each edge's first occurrence). *)
+  let code = Array.make (Stdlib.max 1 nd) 0 in
+  let next_id = ref 0 in
+  for v = 0 to n - 1 do
+    for d = srow.(v + 1) - 1 downto srow.(v) do
+      let w = send.(d) in
+      if v < w then begin
+        code.(d) <- !next_id;
+        code.(srow.(w) + back.(d)) <- !next_id;
+        incr next_id
+      end
+    done
+  done;
+  (* Pass 2: permute every segment to ascending colour order
+     (insertion sort on <= Δ entries), checking properness. *)
+  let colour = Array.make (Stdlib.max 1 nd) 0 in
+  let other = Array.make (Stdlib.max 1 nd) 0 in
+  for v = 0 to n - 1 do
+    let lo = srow.(v) and hi = srow.(v + 1) in
+    for d = lo to hi - 1 do
+      let cd = scol.(d) and od = send.(d) and ed = code.(d) in
+      if cd < 1 then invalid_arg "Ec.of_csr: colours must be >= 1";
+      let j = ref d in
+      while !j > lo && colour.(!j - 1) > cd do
+        colour.(!j) <- colour.(!j - 1);
+        other.(!j) <- other.(!j - 1);
+        code.(!j) <- code.(!j - 1);
+        decr j
+      done;
+      colour.(!j) <- cd;
+      other.(!j) <- od;
+      code.(!j) <- ed
+    done;
+    for d = lo + 1 to hi - 1 do
+      if colour.(d - 1) = colour.(d) then
+        invalid_arg
+          (Printf.sprintf
+             "Ec.of_csr: node %d has two darts of colour %d (colouring not \
+              proper)"
+             v colour.(d))
+    done
+  done;
+  let n_edges = c.Ld_graph.Csr.m in
+  (* Edgeless graphs carry empty dart arrays (matching [of_simple]),
+     not the length-1 scratch allocation. *)
+  let colour = if nd = 0 then [||] else colour in
+  let other = if nd = 0 then [||] else other in
+  let code = if nd = 0 then [||] else code in
+  let csr = { row = srow; colour; other; code } in
+  let edges =
+    lazy
+      (let es = Array.make n_edges { u = 0; v = 0; colour = 0 } in
+       for v = 0 to n - 1 do
+         for d = srow.(v) to srow.(v + 1) - 1 do
+           if v < other.(d) then
+             es.(code.(d)) <- { u = v; v = other.(d); colour = colour.(d) }
+         done
+       done;
+       es)
+  in
+  let darts =
+    lazy
+      (Array.init n (fun v ->
+           List.init
+             (srow.(v + 1) - srow.(v))
+             (fun i ->
+               let d = srow.(v) + i in
+               To_neighbour
+                 {
+                   neighbour = other.(d);
+                   edge_id = code.(d);
+                   colour = colour.(d);
+                 })))
+  in
+  { n; n_edges; n_loops = 0; edges; loops = Lazy.from_val [||]; darts; csr }

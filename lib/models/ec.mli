@@ -99,6 +99,15 @@ val add_edge : t -> int * int * int -> t
     [(u, v)] (with [u < v]) by [colour (u, v)]. *)
 val of_simple : Ld_graph.Graph.t -> colour:(int * int -> int) -> t
 
+(** [of_csr c] lifts a streamed coloured CSR ([Generators.stream_*])
+    into the EC model without materialising edge records, tuple lists,
+    or dart lists — only the colour-sorted CSR arrays are built
+    eagerly (the [edges]/[loops]/[darts] views are lazy). Edge ids
+    follow sorted-(u, v) order, identical to
+    [of_simple g ~colour] on the same graph; [c.row] is shared, not
+    copied. @raise Invalid_argument if the colouring is not proper. *)
+val of_csr : Ld_graph.Csr.t -> t
+
 (** [to_simple g] forgets colours. @raise Invalid_argument if [g] has
     loops. *)
 val to_simple : t -> Ld_graph.Graph.t

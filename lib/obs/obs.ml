@@ -110,6 +110,73 @@ module Counter = struct
   let name c = c.cname
 end
 
+module Gauge = struct
+  type t = { gname : string; cell : int Atomic.t }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+  let table_lock = Mutex.create ()
+
+  let make gname =
+    Mutex.lock table_lock;
+    let g =
+      match Hashtbl.find_opt table gname with
+      | Some g -> g
+      | None ->
+        let g = { gname; cell = Atomic.make 0 } in
+        Hashtbl.add table gname g;
+        g
+    in
+    Mutex.unlock table_lock;
+    g
+
+  (* Max-accumulate with a CAS loop: concurrent recorders can only
+     push the value up, so a lost race is retried against the larger
+     value and the final result is the true maximum. *)
+  let record g v =
+    if Atomic.get on then begin
+      let rec loop () =
+        let cur = Atomic.get g.cell in
+        if v > cur && not (Atomic.compare_and_set g.cell cur v) then loop ()
+      in
+      loop ()
+    end
+
+  let value g = Atomic.get g.cell
+  let name g = g.gname
+end
+
+let gauges () =
+  Mutex.lock Gauge.table_lock;
+  let all =
+    Hashtbl.fold (fun name g acc -> (name, Gauge.value g) :: acc) Gauge.table []
+  in
+  Mutex.unlock Gauge.table_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+(* Peak resident set size (VmHWM) from /proc/self/status — a monotone
+   high-water mark over the whole process lifetime. [None] off Linux
+   or if the field is missing. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  (* ld-lint: allow exn-swallow — best-effort probe, absence of procfs is fine *)
+  | exception _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          let rest = String.trim (String.sub line 6 (String.length line - 6)) in
+          match String.split_on_char ' ' rest with
+          | kb :: _ -> int_of_string_opt kb
+          | [] -> None
+        end
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
+
 let counters () =
   Mutex.lock Counter.table_lock;
   let all =
@@ -136,7 +203,10 @@ let reset () =
   Mutex.unlock registry_lock;
   Mutex.lock Counter.table_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.Counter.cell 0) Counter.table;
-  Mutex.unlock Counter.table_lock
+  Mutex.unlock Counter.table_lock;
+  Mutex.lock Gauge.table_lock;
+  Hashtbl.iter (fun _ g -> Atomic.set g.Gauge.cell 0) Gauge.table;
+  Mutex.unlock Gauge.table_lock
 
 (* Fold each buffer through a span stack: a begin pushes, the matching
    end pops and charges the span's wall time to its name, subtracting

@@ -69,6 +69,35 @@ end
 val counters : unit -> (string * int) list
 (** Snapshot of every registered counter, sorted by name. *)
 
+(** {1 Gauges}
+
+    Max-accumulating instruments for high-water marks (peak RSS, peak
+    active set): {!Gauge.record} keeps the largest value seen. Same
+    registry and sink discipline as counters. *)
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Interned by name: two [make "x"] return the same gauge. *)
+
+  val record : t -> int -> unit
+  (** Keep [max] of the recorded values. Atomic; dropped while the
+      sink is disabled. *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+val gauges : unit -> (string * int) list
+(** Snapshot of every registered gauge, sorted by name. *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kB ([VmHWM] from
+    [/proc/self/status]) — a monotone high-water mark over the whole
+    process lifetime, not a per-phase figure. [None] when procfs is
+    unavailable. *)
+
 (** {1 Raw events (export and tests)} *)
 
 type phase = B | E

@@ -139,14 +139,9 @@ let exec_reference machine ~limit g =
   Obs.Counter.add c_sends !sends;
   (!states, !rounds)
 
-(* Split [0, len) into at most [k] contiguous ranges of near-equal
-   size, in order — the deterministic unit of parallel work. *)
-let chunk_ranges len k =
-  let k = Stdlib.max 1 (Stdlib.min k len) in
-  let base = len / k and extra = len mod k in
-  List.init k (fun i ->
-      let lo = (i * base) + Stdlib.min i extra in
-      (lo, lo + base + if i < extra then 1 else 0))
+(* Deterministic unit of parallel work — shared with the other
+   executors so every engine splits (and merges) identically. *)
+let chunk_ranges = Chunk.ranges
 
 let exec_active machine ~limit ~par_threshold ~domains g =
   let n = Ec.n g in

@@ -148,12 +148,7 @@ let exec_reference machine ~limit g =
   Obs.Counter.add c_sends !sends;
   (!states, !rounds)
 
-let chunk_ranges len k =
-  let k = Stdlib.max 1 (Stdlib.min k len) in
-  let base = len / k and extra = len mod k in
-  List.init k (fun i ->
-      let lo = (i * base) + Stdlib.min i extra in
-      (lo, lo + base + if i < extra then 1 else 0))
+let chunk_ranges = Chunk.ranges
 
 let exec_active machine ~limit ~par_threshold ~domains g =
   let n = Po.n g in

@@ -1,0 +1,6 @@
+(** Deterministic contiguous partitioning of [0, len) into at most [k]
+    near-equal ranges [(lo, hi)], in ascending order. The single
+    source of the parallel work split used by every executor, so the
+    merge order (submission order = range order) is identical across
+    the boxed and packed engines. *)
+val ranges : int -> int -> (int * int) list

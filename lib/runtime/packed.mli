@@ -1,0 +1,104 @@
+(** Packed-state synchronous executors.
+
+    Per-node state lives in [state_words] consecutive ints of one flat
+    array, messages in [msg_words] ints of another, halting flags in a
+    [Bytes] blob — no boxed records and no per-round allocation, which
+    is what keeps a round over 10^6 nodes bandwidth-bound instead of
+    GC-bound. Machines address slice [node * state_words ..] of [st]
+    and read peers' message slices directly.
+
+    Both executors follow the two-phase active-set discipline of the
+    boxed engines ([Anon_ec], [Sync]), which remain the differential
+    oracles: a packed machine paired with its boxed twin must produce
+    identical observables, states and halting rounds (see
+    test_packed.ml). Parallel ranges come from {!Chunk.ranges} and
+    touch disjoint slices, so results are byte-identical at any
+    [LD_DOMAINS]. *)
+
+type stats = {
+  rounds : int;  (** synchronous rounds executed *)
+  sends : int;  (** message slots written (including the initial broadcast) *)
+  darts_scanned : int;  (** inbox slots visible to recv phases *)
+}
+
+val default_par_threshold : int
+
+(** Broadcast executor for the anonymous EC model: one [msg_words]
+    message per node and round, delivered along every incident dart
+    (loop reflection included — a machine reading across a loop dart
+    sees its own broadcast, as in [Anon_ec]). *)
+module Broadcast : sig
+  type machine = {
+    state_words : int;
+    msg_words : int;
+    init : csr:Ld_models.Ec.csr -> st:int array -> node:int -> unit;
+        (** fill the node's state slice; the CSR segment
+            [row.(node) .. row.(node+1)) carries its colours *)
+    send : st:int array -> out:int array -> node:int -> unit;
+        (** write the node's [msg_words] broadcast slice *)
+    recv : csr:Ld_models.Ec.csr -> st:int array -> out:int array -> node:int -> unit;
+        (** step the node's state from its neighbours' broadcast
+            slices ([out.(other * msg_words) ..]) *)
+    halted : st:int array -> node:int -> bool;
+  }
+
+  (** Runs until every node halts or [max_rounds] is reached. Returns
+      the flat state array, per-run traffic, and whether all nodes
+      halted. *)
+  val run_until :
+    ?par_threshold:int ->
+    ?domains:int ->
+    machine ->
+    max_rounds:int ->
+    Ld_models.Ec.t ->
+    int array * stats * bool
+end
+
+(** Port executor for the ID model over a simple-graph CSR: one
+    [msg_words] message per dart and round; the message node [v] sends
+    on port [p] lives at [(row.(v) + p) * msg_words] and is read back
+    by the far endpoint through the precomputed {!Ld_graph.Csr.back}
+    array — the packed analogue of [Sync]'s receiver-driven pull with
+    a frozen-sender dart cache. *)
+module Port : sig
+  type machine = {
+    state_words : int;
+    msg_words : int;
+    init : g:Ld_graph.Csr.t -> st:int array -> node:int -> unit;
+    send : g:Ld_graph.Csr.t -> st:int array -> out:int array -> node:int -> unit;
+        (** write all of the node's per-port message slices *)
+    recv :
+      g:Ld_graph.Csr.t -> back:int array -> st:int array -> out:int array ->
+      node:int -> unit;
+        (** the message arriving on port [p] is at
+            [(row.(endpoint.(row.(node)+p)) + back.(row.(node)+p)) * msg_words] *)
+    halted : st:int array -> node:int -> bool;
+  }
+
+  val run_until :
+    ?par_threshold:int ->
+    ?domains:int ->
+    machine ->
+    max_rounds:int ->
+    Ld_graph.Csr.t ->
+    int array * stats * bool
+end
+
+(** Deterministic per-node coin stream for packed randomized machines
+    (a [Random.State] cannot live in an int slice). One word of state,
+    splitmix-style mixing; boxed differential twins draw from the same
+    stream, making packed-vs-boxed comparison exact. *)
+module Coin : sig
+  (** Initial stream state for a node. *)
+  val seed : seed:int -> node:int -> int
+
+  (** Advance the stream one draw. *)
+  val next : int -> int
+
+  (** Extract a bool from a stream state. *)
+  val bool : int -> bool
+
+  (** Extract a uniform-ish int in [0, bound) from a stream state.
+      @raise Invalid_argument if [bound <= 0]. *)
+  val int : int -> int -> int
+end

@@ -1,0 +1,45 @@
+(* Fixture: the packed-state runtime's chunked-mutation idiom. Every
+   diagnostic in this file must be domain-safety; the sanctioned
+   pattern (closure calls a pre-bound chunk helper that owns the
+   writes) must stay silent. *)
+
+(* Sanctioned: [Packed.run_until] fans out over node ranges, and the
+   task body only *calls* a helper bound before the fan-out. The
+   helper's writes land in disjoint slices, so there is nothing for
+   the rule to flag on the closure itself. *)
+let step_chunk state out lo hi =
+  for v = lo to hi - 1 do
+    out.(v) <- state.(v) + 1
+  done
+
+let sanctioned state out ranges =
+  Pool.map (fun (lo, hi) -> step_chunk state out lo hi) ranges
+
+(* Flagged: writing captured packed state directly from the task body.
+   The lint cannot see the range partition, so the raw mutation inside
+   the closure is a cross-domain hazard. *)
+let raw_write state ranges =
+  Pool.map
+    (fun (lo, hi) ->
+      for v = lo to hi - 1 do
+        state.(v) <- state.(v) + 1
+      done;
+      lo)
+    ranges
+
+(* Flagged: mutating a captured boxed accumulator from the task body
+   (the shape the packed refactor replaces). *)
+let boxed_accumulate totals jobs =
+  Pool.mapi
+    (fun i job ->
+      totals := (i, job) :: !totals;
+      job)
+    jobs
+
+(* Flagged: blitting into a captured scratch buffer from the closure. *)
+let scratch_blit slab jobs =
+  Pool.map
+    (fun job ->
+      Bytes.blit job 0 slab 0 8;
+      job)
+    jobs

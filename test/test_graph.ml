@@ -139,6 +139,57 @@ let metrics_girth_vs_bruteforce =
       let brute = if brute = max_int then None else Some brute in
       Option.equal Int.equal (Ld_graph.Metrics.girth g) brute)
 
+(* ---- streaming CSR generators (differential vs the list twins) ---- *)
+
+module Csr = Ld_graph.Csr
+module Colouring = Ld_models.Edge_colouring
+
+(* The reference CSR: list-based generator + greedy edge colouring,
+   converted through the neighbour-order path. *)
+let reference_csr g = Csr.of_graph g ~colour:(Colouring.greedy g)
+
+let stream_bounded_degree_identical =
+  QCheck.Test.make ~count:50
+    ~name:"stream_bounded_degree is byte-identical to the list twin"
+    (QCheck.triple (QCheck.int_range 0 25) (QCheck.int_range 0 6)
+       (QCheck.int_range 0 1000))
+    (fun (n, d, seed) ->
+      let s = Gen.stream_bounded_degree ~seed n d in
+      Csr.validate s;
+      Csr.equal s (reference_csr (Gen.random_bounded_degree ~seed n d)))
+
+let stream_regular_identical =
+  QCheck.Test.make ~count:50
+    ~name:"stream_regular is byte-identical to the list twin"
+    (QCheck.pair (QCheck.int_range 2 5) (QCheck.int_range 0 1000))
+    (fun (d, seed) ->
+      let n = if (4 * d * d) mod 2 = 0 then 4 * d else (4 * d) + 1 in
+      let s = Gen.stream_regular ~seed n d in
+      Csr.validate s;
+      Csr.equal s (reference_csr (Gen.random_regular ~seed n d)))
+
+let stream_perm_regular_wellformed =
+  QCheck.Test.make ~count:50
+    ~name:"stream_perm_regular is simple, bounded and deterministic"
+    (QCheck.pair (QCheck.int_range 1 3) (QCheck.int_range 0 1000))
+    (fun (half_d, seed) ->
+      let d = 2 * half_d in
+      let n = 8 * d in
+      let g = Gen.stream_perm_regular ~seed n d in
+      Csr.validate g;
+      Csr.max_degree g <= d && Csr.equal g (Gen.stream_perm_regular ~seed n d))
+
+let stream_biregular_tree_shape () =
+  let g = Gen.stream_biregular_tree ~d:3 ~delta:5 200 in
+  Csr.validate g;
+  Alcotest.(check int) "n" 200 (Csr.n g);
+  Alcotest.(check bool) "tree" true (Csr.m g = Csr.n g - 1);
+  Alcotest.(check bool) "delta respected" true (Csr.max_degree g <= 5);
+  Alcotest.(check bool)
+    "colours within max d delta" true
+    (Csr.max_colour g <= 5);
+  Alcotest.(check bool) "connected" true (G.is_connected (Csr.to_graph g))
+
 let bench_families_run () =
   List.iter
     (fun (name, make) ->
@@ -167,6 +218,13 @@ let () =
           QCheck_alcotest.to_alcotest random_regular_is_regular;
           QCheck_alcotest.to_alcotest bounded_degree_respected;
           Alcotest.test_case "bench families" `Quick bench_families_run;
+        ] );
+      ( "streaming csr",
+        [
+          QCheck_alcotest.to_alcotest stream_bounded_degree_identical;
+          QCheck_alcotest.to_alcotest stream_regular_identical;
+          QCheck_alcotest.to_alcotest stream_perm_regular_wellformed;
+          Alcotest.test_case "biregular tree" `Quick stream_biregular_tree_shape;
         ] );
       ( "metrics",
         [

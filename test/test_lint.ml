@@ -25,6 +25,7 @@ let dirty_fixtures =
     ("refinement_poly.ml", "poly-compare", 5);
     ("nondet.ml", "nondet-source", 4);
     ("domain_safety.ml", "domain-safety", 3);
+    ("packed_state.ml", "domain-safety", 3);
     ("machine_purity.ml", "machine-purity", 4);
     ("obj_magic.ml", "obj-magic", 2);
     ("exn_swallow.ml", "exn-swallow", 2);

@@ -106,6 +106,29 @@ let ec_of_simple_families () =
       Alcotest.(check int) "degree preserved" (G.max_degree g) (Ec.max_degree ec))
     [ Gen.path 7; Gen.cycle 8; Gen.star 6; Gen.grid 3 4; Gen.complete 5 ]
 
+(* Ec.of_csr must agree with the classic list path
+   (Colouring.ec_of_simple = Ec.of_simple over Edge_colouring.greedy)
+   given the CSR of the same graph under the same colouring: identical
+   edge-id assignment and identical cached CSR arrays. *)
+let ec_of_csr_identical =
+  QCheck.Test.make ~count:50 ~name:"Ec.of_csr agrees with ec_of_simple"
+    (QCheck.triple (QCheck.int_range 0 25) (QCheck.int_range 0 6)
+       (QCheck.int_range 0 1000))
+    (fun (n, d, seed) ->
+      let g = Gen.random_bounded_degree ~seed n d in
+      let via_csr =
+        Ec.of_csr (Ld_graph.Csr.of_graph g ~colour:(Colouring.greedy g))
+      in
+      let via_lists = Colouring.ec_of_simple g in
+      let a = Ec.csr via_csr and b = Ec.csr via_lists in
+      Ec.n via_csr = Ec.n via_lists
+      && Ec.num_edges via_csr = Ec.num_edges via_lists
+      && a.Ec.row = b.Ec.row && a.Ec.colour = b.Ec.colour
+      && a.Ec.other = b.Ec.other && a.Ec.code = b.Ec.code
+      && List.equal
+           (fun (x : Ec.edge) y -> x.u = y.u && x.v = y.v && x.colour = y.colour)
+           (Ec.edges via_csr) (Ec.edges via_lists))
+
 let labelled_id_oi () =
   let g = Gen.path 3 in
   Alcotest.check_raises "duplicate ids" (Invalid_argument "Id.create: duplicate id")
@@ -159,6 +182,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest colouring_proper_on_families;
           Alcotest.test_case "ec_of_simple families" `Quick ec_of_simple_families;
+          QCheck_alcotest.to_alcotest ec_of_csr_identical;
         ] );
       ("labelled", [ Alcotest.test_case "id and oi" `Quick labelled_id_oi ]);
       ("dot", [ Alcotest.test_case "export" `Quick dot_export ]);

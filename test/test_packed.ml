@@ -1,0 +1,164 @@
+(* Differential tests for the packed-state runtime: every packed
+   machine must agree exactly with its boxed twin — same observables,
+   same halting rounds — at 1 domain and at a forced multi-domain
+   split (par_threshold 0 so even tiny inputs get partitioned). *)
+
+module G = Ld_graph.Graph
+module Csr = Ld_graph.Csr
+module Gen = Ld_graph.Generators
+module Ec = Ld_models.Ec
+module Colouring = Ld_models.Edge_colouring
+module Id = Ld_models.Labelled.Id
+module Fm = Ld_fm.Fm
+module Packing = Ld_matching.Packing
+module Mm_ec = Ld_matching.Mm_ec
+module Packed_mm = Ld_matching.Packed_mm
+module Packed_packing = Ld_matching.Packed_packing
+module Packed_ii = Ld_matching.Packed_ii
+module Packed_pr = Ld_matching.Packed_pr
+module Davies_peck = Ld_matching.Davies_peck
+module Pr = Ld_matching.Panconesi_rizzi
+
+let graph_gen = QCheck.triple (QCheck.int_range 0 25) (QCheck.int_range 0 6) (QCheck.int_range 0 1000)
+
+let make_graph (n, d, seed) = Gen.random_bounded_degree ~seed n d
+let csr_of g = Csr.of_graph g ~colour:(Colouring.greedy g)
+
+(* Both split modes the executors distinguish: the sequential path and
+   a forced 4-way parallel split. *)
+let domain_legs = [ (1, None); (4, Some 0) ]
+
+(* ---- greedy maximal matching (Broadcast) ---- *)
+
+let mm_matches_boxed =
+  QCheck.Test.make ~count:50 ~name:"packed mm = Mm_ec.greedy (all domains)"
+    graph_gen
+    (fun input ->
+      let ec = Colouring.ec_of_simple (make_graph input) in
+      let oracle = Mm_ec.greedy ec in
+      let expect =
+        Array.map (function Some c -> c | None -> -1) oracle.Mm_ec.matched_colour
+      in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let r, _ = Packed_mm.greedy ?par_threshold ~domains ec in
+          r.Packed_mm.matched_colour = expect
+          && r.Packed_mm.rounds = oracle.Mm_ec.rounds)
+        domain_legs)
+
+(* ---- packing (Broadcast, exact rationals) ---- *)
+
+let packing_greedy_matches_boxed =
+  QCheck.Test.make ~count:50
+    ~name:"packed greedy packing = Packing.greedy_by_colour" graph_gen
+    (fun input ->
+      let ec = Colouring.ec_of_simple (make_graph input) in
+      let oracle = Packing.greedy_by_colour ec in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let fm, _ = Packed_packing.greedy ?par_threshold ~domains ec in
+          Fm.equal fm oracle)
+        domain_legs)
+
+let packing_greedy_truncated_matches_boxed =
+  QCheck.Test.make ~count:50
+    ~name:"packed greedy packing respects truncation"
+    (QCheck.pair graph_gen (QCheck.int_range 0 8))
+    (fun (input, truncate) ->
+      let ec = Colouring.ec_of_simple (make_graph input) in
+      let oracle = Packing.greedy_by_colour ~truncate ec in
+      let fm, _ = Packed_packing.greedy ~truncate ec in
+      Fm.equal fm oracle)
+
+let packing_proposal_matches_boxed =
+  QCheck.Test.make ~count:50 ~name:"packed proposal packing = Packing.proposal"
+    graph_gen
+    (fun input ->
+      let ec = Colouring.ec_of_simple (make_graph input) in
+      let oracle, _rounds = Packing.proposal ec in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let fm, _ = Packed_packing.proposal ?par_threshold ~domains ec in
+          Fm.equal fm oracle)
+        domain_legs)
+
+(* ---- Israeli–Itai (Port, shared coin stream) ---- *)
+
+let ii_matches_twin =
+  QCheck.Test.make ~count:50 ~name:"packed II = boxed twin (all domains)"
+    graph_gen
+    (fun input ->
+      let g = make_graph input in
+      let csr = csr_of g in
+      let oracle = Packed_ii.reference_run ~seed:7 ~max_rounds:10_000 g in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let r, _ =
+            Packed_ii.run ?par_threshold ~domains ~seed:7 ~max_rounds:10_000
+              csr
+          in
+          r.Packed_ii.mate = oracle.Packed_ii.mate
+          && r.Packed_ii.rounds = oracle.Packed_ii.rounds
+          && Packed_ii.is_maximal csr r)
+        domain_legs)
+
+(* ---- Panconesi–Rizzi (Port, deterministic) ---- *)
+
+let pr_matches_boxed =
+  QCheck.Test.make ~count:50
+    ~name:"packed PR = Panconesi_rizzi.run (all domains)" graph_gen
+    (fun input ->
+      let g = make_graph input in
+      let csr = csr_of g in
+      let oracle = Pr.run (Id.trivial g) in
+      let expect =
+        Array.map (function Some w -> w | None -> -1) oracle.Pr.mate
+      in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let r, _ = Packed_pr.run ?par_threshold ~domains csr in
+          r.Packed_pr.mate = expect
+          && r.Packed_pr.rounds = oracle.Pr.rounds
+          && r.Packed_pr.cv_iterations = oracle.Pr.cv_iterations)
+        domain_legs)
+
+(* ---- Davies–Peck schedule (Port, shared coin stream) ---- *)
+
+let dp_matches_twin =
+  QCheck.Test.make ~count:50
+    ~name:"packed Davies-Peck = boxed twin, covers" graph_gen
+    (fun input ->
+      let g = make_graph input in
+      let csr = csr_of g in
+      let delta = Stdlib.max 1 (G.max_degree g) in
+      let oracle =
+        Davies_peck.reference_run ~seed:11 ~max_rounds:10_000 g ~delta
+      in
+      List.for_all
+        (fun (domains, par_threshold) ->
+          let r, _ =
+            Davies_peck.run ?par_threshold ~domains ~seed:11
+              ~max_rounds:10_000 csr
+          in
+          r.Davies_peck.mate = oracle.Davies_peck.mate
+          && r.Davies_peck.rounds = oracle.Davies_peck.rounds
+          && Davies_peck.is_vertex_cover csr r)
+        domain_legs)
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "broadcast",
+        [
+          QCheck_alcotest.to_alcotest mm_matches_boxed;
+          QCheck_alcotest.to_alcotest packing_greedy_matches_boxed;
+          QCheck_alcotest.to_alcotest packing_greedy_truncated_matches_boxed;
+          QCheck_alcotest.to_alcotest packing_proposal_matches_boxed;
+        ] );
+      ( "port",
+        [
+          QCheck_alcotest.to_alcotest ii_matches_twin;
+          QCheck_alcotest.to_alcotest pr_matches_boxed;
+          QCheck_alcotest.to_alcotest dp_matches_twin;
+        ] );
+    ]
