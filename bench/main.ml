@@ -36,9 +36,39 @@ let row fmt = Printf.printf fmt
 
 (* One clock for everything: sections are [bench.section.*] spans on the
    Ld_obs monotonic clock, so the JSON section timings and the Chrome
-   trace agree by construction. *)
+   trace agree by construction.
+
+   Each section additionally meters itself: counters are snapshot-diffed
+   around the body (the global counters stay cumulative — the top-level
+   "metrics" object and the CI guards reading it are untouched), and
+   latency histograms are reset at section entry so the quantiles a
+   section reports are its own, not the tail of the section before. *)
+type section_stats = {
+  s_name : string;
+  s_wall_ms : float;
+  s_counters : (string * int) list; (* increments during the section *)
+  s_latency : Ld_obs.Hist.snapshot list;
+}
+
+let section_log : section_stats list ref = ref []
+
 let now_ms = Obs.now_ms
-let timed name f = Obs.with_span ("bench.section." ^ name) f
+
+let timed name f =
+  let before = Obs.Counter.snapshot_all () in
+  Ld_obs.Hist.reset_all ();
+  let t0 = now_ms () in
+  let v = Obs.with_span ("bench.section." ^ name) f in
+  let wall = now_ms () -. t0 in
+  section_log :=
+    {
+      s_name = name;
+      s_wall_ms = wall;
+      s_counters = Obs.Counter.diff before (Obs.Counter.snapshot_all ());
+      s_latency = Ld_obs.Hist.snapshots ();
+    }
+    :: !section_log;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* THM1: the lower-bound frontier. For each Δ, the adversary certifies
@@ -455,16 +485,7 @@ let bechamel_pass () =
 (* Machine-readable dump of the headline experiment: one object per
    THM1 row, the per-section wall clocks, and the Bechamel estimates. *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Ld_obs.Json.escape
 
 let emit_json ~path ~rows ~timings =
   let buf = Buffer.create 4096 in
@@ -500,6 +521,8 @@ let emit_json ~path ~rows ~timings =
            (if i = List.length sections - 1 then "" else ",")))
     sections;
   add "  },\n  \"metrics\": {\n";
+  (* Cumulative over the whole run — CI's jq perf guards key on these,
+     so they are never reset between sections. *)
   let metrics = Obs.counters () in
   List.iteri
     (fun i (name, v) ->
@@ -507,6 +530,40 @@ let emit_json ~path ~rows ~timings =
         (Printf.sprintf "    \"%s\": %d%s\n" (json_escape name) v
            (if i = List.length metrics - 1 then "" else ",")))
     metrics;
+  add "  },\n  \"sections\": {\n";
+  (* Per-section view: counter increments and latency quantiles scoped
+     to the section (histograms reset at entry, counters diffed). *)
+  let sections = List.rev !section_log in
+  List.iteri
+    (fun i s ->
+      add (Printf.sprintf "    \"%s\": {\n" (json_escape s.s_name));
+      add (Printf.sprintf "      \"wall_ms\": %.3f,\n" s.s_wall_ms);
+      add "      \"metrics\": {";
+      List.iteri
+        (fun j (name, v) ->
+          add
+            (Printf.sprintf "%s\n        \"%s\": %d"
+               (if j = 0 then "" else ",")
+               (json_escape name) v))
+        s.s_counters;
+      add "\n      },\n      \"latency\": {";
+      List.iteri
+        (fun j (sn : Ld_obs.Hist.snapshot) ->
+          add
+            (Printf.sprintf
+               "%s\n        \"%s\": {\"count\": %d, \"p50_ms\": %.4f, \
+                \"p99_ms\": %.4f, \"max_ms\": %.4f}"
+               (if j = 0 then "" else ",")
+               (json_escape sn.Ld_obs.Hist.sn_name)
+               sn.Ld_obs.Hist.sn_count
+               (Ld_obs.Hist.quantile_ms sn 0.5)
+               (Ld_obs.Hist.quantile_ms sn 0.99)
+               (Ld_obs.Hist.max_ms sn)))
+        s.s_latency;
+      add
+        (Printf.sprintf "\n      }\n    }%s\n"
+           (if i = List.length sections - 1 then "" else ",")))
+    sections;
   add "  },\n  \"timing_ns_per_run\": [\n";
   List.iteri
     (fun i (name, t) ->
@@ -535,7 +592,11 @@ let () =
   let quick = Array.mem "--quick" Sys.argv in
   let trace_path = flag_value "--trace" in
   let json_path = flag_value "--json" in
-  Obs.enable ();
+  (* LD_OBS=off leaves the sink disabled end to end: the instrumentation
+     overhead check diffs a --quick wall clock with and without it. *)
+  (match Sys.getenv_opt "LD_OBS" with
+  | Some "off" -> ()
+  | _ -> Obs.enable ());
   Printf.printf
     "linear-delta-local benchmark harness\n\
      reproduces: Goos, Hirvonen, Suomela — Linear-in-Delta Lower Bounds in \

@@ -22,6 +22,10 @@ module Davies_peck = Ld_matching.Davies_peck
 
 let rss_gauge = Obs.Gauge.make "runtime.bench.peak_rss_kb"
 
+(* Same interned histogram the packed executors record into; reset
+   around each measured run so every row reports its own quantiles. *)
+let h_round = Ld_obs.Hist.make "runtime.packed.round"
+
 type row = {
   r_workload : string;
   r_algo : string;
@@ -32,6 +36,8 @@ type row = {
   r_sends : int;
   r_wall_ms : float;
   r_rss_kb : int;
+  r_round_p50_ms : float;
+  r_round_p99_ms : float;
 }
 
 let tree_d = 3
@@ -59,9 +65,11 @@ let algo_name = function `Ii -> "israeli-itai" | `Dp -> "davies-peck" | `Pr -> "
 
 let measure ~workload ~algo ~domains g =
   let n = g.Csr.n in
+  Ld_obs.Hist.reset h_round;
   let t0 = Obs.now_ms () in
   let stats = run_algo ~algo ~domains g in
   let wall = Obs.now_ms () -. t0 in
+  let sn = Ld_obs.Hist.snapshot h_round in
   let rss = Option.value ~default:0 (Obs.peak_rss_kb ()) in
   Obs.Gauge.record rss_gauge rss;
   let r =
@@ -75,12 +83,17 @@ let measure ~workload ~algo ~domains g =
       r_sends = stats.Packed.sends;
       r_wall_ms = wall;
       r_rss_kb = rss;
+      r_round_p50_ms = Ld_obs.Hist.quantile_ms sn 0.5;
+      r_round_p99_ms = Ld_obs.Hist.quantile_ms sn 0.99;
     }
   in
   Printf.printf
-    "%-14s %-15s n=%-8d domains=%d  rounds=%-4d wall=%8.1fms  %10.0f sends/s\n%!"
+    "%-14s %-15s n=%-8d domains=%d  rounds=%-4d wall=%8.1fms  %10.0f sends/s  \
+     round p50=%.3fms p99=%.3fms\n\
+     %!"
     r.r_workload r.r_algo n domains r.r_rounds wall
-    (float_of_int r.r_sends /. (wall /. 1000.));
+    (float_of_int r.r_sends /. (wall /. 1000.))
+    r.r_round_p50_ms r.r_round_p99_ms;
   r
 
 (* Packed-vs-packed domain identity: the same workload at 1 domain and
@@ -97,17 +110,7 @@ let identity_check () =
   in
   a.Packed_ii.mate = b.Packed_ii.mate && a.Packed_ii.rounds = b.Packed_ii.rounds
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Ld_obs.Json.escape
 
 let emit_json ~path ~quick ~identical ~rows =
   let buf = Buffer.create 4096 in
@@ -131,12 +134,13 @@ let emit_json ~path ~quick ~identical ~rows =
            "    {\"workload\": \"%s\", \"algo\": \"%s\", \"n\": %d, \
             \"delta\": %d, \"domains\": %d, \"rounds\": %d, \"sends\": %d, \
             \"wall_ms\": %.3f, \"sends_per_sec\": %.0f, \
-            \"rounds_per_sec\": %.2f, \"peak_rss_kb\": %d}%s\n"
+            \"rounds_per_sec\": %.2f, \"peak_rss_kb\": %d, \
+            \"round_p50_ms\": %.4f, \"round_p99_ms\": %.4f}%s\n"
            (json_escape r.r_workload) (json_escape r.r_algo) r.r_n r.r_delta
            r.r_domains r.r_rounds r.r_sends r.r_wall_ms
            (float_of_int r.r_sends /. secs)
            (float_of_int r.r_rounds /. secs)
-           r.r_rss_kb
+           r.r_rss_kb r.r_round_p50_ms r.r_round_p99_ms
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   add "  ]\n}\n";

@@ -7,6 +7,9 @@
      ld factor     compute a factor graph and loopiness
      ld order      sort tree addresses by the Appendix A canonical order
      ld stats      run the adversary and print the observability summary
+     ld metrics    expose the metric registry in OpenMetrics text format
+     ld top        live terminal dashboard over a running workload
+     ld bench-diff compare two bench artefacts, fail on regressions
      ld lint       run the determinism/exactness static analyzer
 
    Every subcommand honours the global --trace FILE (Chrome trace-event
@@ -412,7 +415,7 @@ let verify_cmd =
 
 (* ---- stats ---- *)
 
-let stats common delta algo frontier tree level =
+let stats common delta algo frontier tree level json =
   (* The summary needs the sink on even without --trace. *)
   Obs.enable ();
   with_common common @@ fun () ->
@@ -425,13 +428,16 @@ let stats common delta algo frontier tree level =
       m "stats: delta=%d algo=%s frontier=%b" delta base_algo.Packing.name
         frontier);
   let cache = LB.build_cache ~delta base_algo in
-  (match LB.cache_outcome cache with
-  | LB.Certified certs ->
-    Printf.printf "adversary: delta=%d vs %s — CERTIFIED %d levels\n" delta
-      base_algo.Packing.name (List.length certs)
-  | LB.Refuted (certs, f) ->
-    Printf.printf "adversary: delta=%d vs %s — REFUTED at level %d (%d certified)\n"
-      delta base_algo.Packing.name f.LB.fail_level (List.length certs));
+  let outcome = LB.cache_outcome cache in
+  if not json then
+    (match outcome with
+    | LB.Certified certs ->
+      Printf.printf "adversary: delta=%d vs %s — CERTIFIED %d levels\n" delta
+        base_algo.Packing.name (List.length certs)
+    | LB.Refuted (certs, f) ->
+      Printf.printf
+        "adversary: delta=%d vs %s — REFUTED at level %d (%d certified)\n"
+        delta base_algo.Packing.name f.LB.fail_level (List.length certs));
   if frontier then begin
     (* Replay the memoised construction against every truncation, as the
        bench's frontier scan does — analytically when the base is greedy
@@ -454,14 +460,36 @@ let stats common delta algo frontier tree level =
         | `Refuted -> scan (r + 1)
     in
     match scan 0 with
-    | Some r -> Printf.printf "frontier: smallest surviving truncation r* = %d\n" r
-    | None -> Printf.printf "frontier: no truncation survives within 2*delta+2\n"
+    | Some r ->
+      if not json then
+        Printf.printf "frontier: smallest surviving truncation r* = %d\n" r
+    | None ->
+      if not json then
+        Printf.printf "frontier: no truncation survives within 2*delta+2\n"
   end;
-  Printf.printf "\n";
-  (match level with
-  | Some i -> Format.printf "%a@." (Ld_obs.Summary.pp_level ~level:i) ()
-  | None -> Format.printf "%a@." Ld_obs.Summary.pp ());
-  if tree then Format.printf "%a@." Ld_obs.Summary.pp_tree ();
+  if json then begin
+    (* One top-level object: the adversary outcome plus the whole
+       span/counter/histogram summary, machine-readable. *)
+    let outcome_str, levels =
+      match outcome with
+      | LB.Certified certs -> ("certified", List.length certs)
+      | LB.Refuted (certs, _) -> ("refuted", List.length certs)
+    in
+    Printf.printf
+      "{\n\"delta\": %d,\n\"algo\": \"%s\",\n\"outcome\": \"%s\",\n\
+       \"certified_levels\": %d,\n\"summary\": %s}\n"
+      delta
+      (Ld_obs.Json.escape base_algo.Packing.name)
+      outcome_str levels
+      (Ld_obs.Summary.to_json ())
+  end
+  else begin
+    Printf.printf "\n";
+    (match level with
+    | Some i -> Format.printf "%a@." (Ld_obs.Summary.pp_level ~level:i) ()
+    | None -> Format.printf "%a@." Ld_obs.Summary.pp ());
+    if tree then Format.printf "%a@." Ld_obs.Summary.pp_tree ()
+  end;
   0
 
 let stats_cmd =
@@ -486,6 +514,14 @@ let stats_cmd =
              inside the core.lb.level span carrying this level index \
              (probe fan-out included).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object (outcome, spans, counters, gauges, \
+             histogram quantiles) instead of the text tables.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -493,7 +529,247 @@ let stats_cmd =
           the span/counter summary table.")
     Term.(
       const stats $ common_term $ delta_arg $ algo_arg $ frontier $ tree
-      $ level)
+      $ level $ json)
+
+(* ---- metrics ---- *)
+
+let algorithm_of = function
+  | `Greedy -> Packing.greedy_algorithm
+  | `Proposal -> Packing.proposal_algorithm
+
+let metrics common delta algo serve loop =
+  Obs.enable ();
+  with_common common @@ fun () ->
+  let algorithm = algorithm_of algo in
+  let run_workload () = ignore (LB.run ~delta algorithm : LB.outcome) in
+  match serve with
+  | None ->
+    run_workload ();
+    print_string (Ld_obs.Openmetrics.render ());
+    0
+  | Some port ->
+    (* Long-running exporter: keep the numeric instruments recording
+       but stop span events so buffers don't grow without bound. *)
+    Obs.set_span_recording false;
+    run_workload ();
+    if loop then
+      ignore
+        (Domain.spawn (fun () ->
+             while true do
+               run_workload ()
+             done)
+          : unit Domain.t);
+    Logs.app (fun m ->
+        m "serving OpenMetrics on http://127.0.0.1:%d/metrics" port);
+    Ld_obs.Openmetrics.serve ~port (fun () -> Ld_obs.Openmetrics.render ());
+    0
+
+let metrics_cmd =
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics over HTTP on $(docv) instead of printing \
+             one scrape; each scrape re-renders the live registry.")
+  in
+  let loop =
+    Arg.(
+      value & flag
+      & info [ "loop" ]
+          ~doc:
+            "With $(b,--serve): keep re-running the adversary workload in \
+             a background domain so scrapes see a moving system.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the adversary workload and expose every counter, gauge and \
+          latency histogram in OpenMetrics (Prometheus) text format — \
+          counters as _total, histograms as cumulative _bucket/_sum/_count \
+          families in seconds.")
+    Term.(const metrics $ common_term $ delta_arg $ algo_arg $ serve $ loop)
+
+(* ---- top ---- *)
+
+let top common delta algo interval frames =
+  Obs.enable ();
+  (* Dashboard sampling wants rates and quantiles, not an ever-growing
+     event log. *)
+  Obs.set_span_recording false;
+  with_common common @@ fun () ->
+  let algorithm = algorithm_of algo in
+  let stop = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (LB.run ~delta algorithm : LB.outcome)
+        done)
+  in
+  let clear = Unix.isatty Unix.stdout in
+  let prev = ref (Obs.Counter.snapshot_all ()) in
+  let prev_t = ref (Obs.now_ms ()) in
+  let lookup snap name =
+    match List.assoc_opt name snap with Some v -> v | None -> 0
+  in
+  for frame = 1 to frames do
+    Unix.sleepf interval;
+    let now = Obs.Counter.snapshot_all () in
+    let t = Obs.now_ms () in
+    let dt = Stdlib.max 1e-9 ((t -. !prev_t) /. 1000.) in
+    let deltas = Obs.Counter.diff !prev now in
+    let rate name = float_of_int (lookup deltas name) /. dt in
+    if clear then print_string "\027[2J\027[H";
+    Printf.printf "ld top — frame %d/%d  every %.1fs  (delta=%d vs %s)\n"
+      frame frames interval delta algorithm.Packing.name;
+    let hits = lookup now "core.lb.memo_replay_hits" in
+    let probes = lookup now "core.lb.probes" in
+    let memo_ratio =
+      if hits + probes = 0 then 0.
+      else float_of_int hits /. float_of_int (hits + probes)
+    in
+    Printf.printf
+      "  refine rounds/s %10.0f    probes/s %10.0f    sends/s %10.0f\n"
+      (rate "cover.refine.rounds")
+      (rate "core.lb.probes")
+      (rate "runtime.ec.sends" +. rate "runtime.po.sends"
+      +. rate "runtime.packed.sends");
+    Printf.printf "  memo hit ratio  %10.3f    pool tasks/s %6.0f%s\n"
+      memo_ratio
+      (rate "core.pool.tasks")
+      (match Obs.peak_rss_kb () with
+      | Some kb -> Printf.sprintf "    peak RSS %d kB" kb
+      | None -> "");
+    let lat = Ld_obs.Hist.snapshots () in
+    if lat <> [] then begin
+      Printf.printf "  %-28s %10s %10s %10s %10s\n" "latency" "count"
+        "p50 ms" "p99 ms" "max ms";
+      List.iter
+        (fun sn ->
+          Printf.printf "  %-28s %10d %10.3f %10.3f %10.3f\n"
+            sn.Ld_obs.Hist.sn_name sn.Ld_obs.Hist.sn_count
+            (Ld_obs.Hist.quantile_ms sn 0.5)
+            (Ld_obs.Hist.quantile_ms sn 0.99)
+            (Ld_obs.Hist.max_ms sn))
+        lat
+    end;
+    (* Busiest counters this frame, by increment. *)
+    let top_deltas =
+      List.sort (fun (_, a) (_, b) -> Int.compare b a) deltas
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    (match take 5 top_deltas with
+    | [] -> ()
+    | busiest ->
+      Printf.printf "  busiest counters (+/frame):\n";
+      List.iter
+        (fun (name, d) -> Printf.printf "    %-40s +%d\n" name d)
+        busiest);
+    flush stdout;
+    prev := now;
+    prev_t := t
+  done;
+  Atomic.set stop true;
+  Domain.join worker;
+  0
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between dashboard frames.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 10
+      & info [ "frames" ] ~docv:"N" ~doc:"Stop after $(docv) frames.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the adversary workload on a background domain and sample the \
+          metric registry live: refine rounds/s, probe and send rates, \
+          memoisation hit ratio, latency quantiles and peak RSS, with \
+          per-frame deltas.")
+    Term.(const top $ common_term $ delta_arg $ algo_arg $ interval $ frames)
+
+(* ---- bench-diff ---- *)
+
+let bench_diff common old_path new_path tolerance normalize min_wall_ms =
+  with_common common @@ fun () ->
+  match Ld_obs.Bench_diff.tolerance_of_string tolerance with
+  | None ->
+    Printf.eprintf
+      "ld bench-diff: bad --tolerance %S (expected e.g. 1.5x, > 1)\n"
+      tolerance;
+    2
+  | Some tolerance -> (
+    match
+      Ld_obs.Bench_diff.compare_files ~tolerance ~normalize ~min_wall_ms
+        ~old_path ~new_path ()
+    with
+    | Error e ->
+      Printf.eprintf "ld bench-diff: %s\n" e;
+      2
+    | Ok report ->
+      print_string (Ld_obs.Bench_diff.render report);
+      Ld_obs.Bench_diff.exit_code report)
+
+let bench_diff_cmd =
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench artefact (JSON).")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench artefact (JSON).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt string "1.5x"
+      & info [ "tolerance" ] ~docv:"RATIO"
+          ~doc:
+            "Fail when new wall time exceeds old by more than this factor \
+             (e.g. $(b,1.5x)).")
+  in
+  let normalize =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:
+            "Divide every ratio by the median ratio first: cancels a \
+             uniform machine-speed difference between the two runs, keeps \
+             selective per-row regressions visible.")
+  in
+  let min_wall_ms =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-wall-ms" ] ~docv:"MS"
+          ~doc:
+            "Ignore rows whose baseline wall time is below $(docv) — too \
+             noisy to gate on.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Join two bench artefacts (BENCH_THM1.json / BENCH_RUNTIME.json \
+          shape) on their key columns and compare per-row wall time. Exits \
+          1 if any compared row regressed beyond the tolerance, 2 if the \
+          files cannot be compared at all; rows present in only one file \
+          are reported but never fail.")
+    Term.(
+      const bench_diff $ common_term $ old_path $ new_path $ tolerance
+      $ normalize $ min_wall_ms)
 
 (* ---- bench-runtime ---- *)
 
@@ -579,6 +855,7 @@ let main_cmd =
          "Linear-in-Delta lower bounds in the LOCAL model — executable \
           reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
     [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
-      certify_cmd; verify_cmd; stats_cmd; bench_runtime_cmd; lint_cmd ]
+      certify_cmd; verify_cmd; stats_cmd; metrics_cmd; top_cmd; bench_diff_cmd;
+      bench_runtime_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

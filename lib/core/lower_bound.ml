@@ -21,6 +21,10 @@ let c_memo_refuted = Obs.Counter.make "core.lb.memo_replay_refuted"
 let c_memo_diverged = Obs.Counter.make "core.lb.memo_diverged"
 let c_incremental = Obs.Counter.make "core.lb.incremental_seeded"
 
+(* Probe latency histogram; [Hist.timed_span] keeps emitting the same
+   "core.lb.probe" span events the trace consumers already expect. *)
+let h_probe = Ld_obs.Hist.make "core.lb.probe"
+
 type algorithm = Ld_matching.Packing.algorithm = {
   name : string;
   run : Ec.t -> Fm.t;
@@ -117,7 +121,7 @@ type probe = { probe_level : int; probe_graph : Ec.t; probe_base : Fm.t }
 
 let run_checked ?record ~level algo graph =
   Obs.Counter.incr c_probes;
-  let y = Obs.with_span "core.lb.probe" (fun () -> algo.run graph) in
+  let y = Ld_obs.Hist.timed_span h_probe (fun () -> algo.run graph) in
   (match record with
   | Some r -> r := { probe_level = level; probe_graph = graph; probe_base = y } :: !r
   | None -> ());
@@ -275,7 +279,7 @@ let step ?record ~delta ~algo ~check_views ~check_lift_invariance
   let y_gg, y_hh, y_gh =
     match
       Pool.map
-        (fun graph -> Obs.with_span "core.lb.probe" (fun () -> algo.run graph))
+        (fun graph -> Ld_obs.Hist.timed_span h_probe (fun () -> algo.run graph))
         [ gg; hh; gh ]
     with
     | [ a; b; c ] -> (a, b, c)

@@ -16,6 +16,7 @@ let c_descriptors = Obs.Counter.make "cover.refine.descriptors_sorted"
 let c_intern_hits = Obs.Counter.make "cover.refine.intern_hits"
 let c_intern_misses = Obs.Counter.make "cover.refine.intern_misses"
 let c_blocks_split = Obs.Counter.make "cover.refine.blocks_split"
+let h_round = Ld_obs.Hist.make "cover.refine.round"
 
 (* Per-domain running totals, so a pool task (which runs entirely on one
    domain) can difference them around a row of work without racing the
@@ -285,7 +286,7 @@ let engine_create fl =
 
 (* One refinement round. [r] must increase strictly across calls on the
    same engine (it doubles as the dirty stamp). *)
-let engine_round eng r =
+let engine_round_body eng r =
   let n = eng.fl.fn in
   let row = eng.fl.frow and key = eng.fl.fkey and other = eng.fl.fother in
   let stride = eng.stride in
@@ -412,6 +413,11 @@ let engine_round eng r =
   ds.s_rounds <- ds.s_rounds + 1;
   ds.s_descriptors <- ds.s_descriptors + !ndesc;
   ds.s_blocks_split <- ds.s_blocks_split + !nsplit
+
+(* Per-round latency feeds the "cover.refine.round" histogram; with the
+   sink off [Hist.timed] is a direct call, so the refinement loop pays
+   one atomic read per round and nothing else. *)
+let engine_round eng r = Ld_obs.Hist.timed h_round (fun () -> engine_round_body eng r)
 
 (* Internal ids densified by first occurrence in node order — exactly
    the label discipline of the reference oracle, so histories match

@@ -1,0 +1,295 @@
+(* Log-linear (HDR-style) latency histograms.
+
+   Bucketing scheme (DESIGN.md § Metrics & exposition): values are
+   non-negative integers (nanoseconds for every built-in instrumentation
+   site). Values below [sub_count = 32] get one exact bucket each; above
+   that, every octave [32·2^j, 64·2^j) is subdivided into 32 equal
+   buckets of width 2^j. Bucket width over bucket lower bound is
+   therefore at most 1/32, which bounds the relative error of any
+   quantile read from the merged counts: a reported quantile q satisfies
+   |q - true| / true <= [rel_error_bound] (= 2^-5, about 3.1%).
+   Values are clamped to [0, 2^42 - 1] (~73 minutes in ns), capping the
+   bucket index at a small constant, so a shard is one flat int array.
+
+   Sharding: recording goes to a per-domain shard reached through
+   domain-local storage — appends never synchronise, exactly like the
+   span buffers in [Obs]. A shard registers itself (under a mutex) the
+   first time its domain records; [snapshot] merges all shards at read
+   time. Merging concurrent with recording yields a momentarily stale
+   but never corrupt view (single-writer arrays, monotone counts);
+   quiesce writers for an exact cut, as the bench sections do.
+
+   Every record is gated on the global [Obs.enabled] sink switch, so a
+   disabled sink costs one atomic read and no clock access. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits
+let rel_error_bound = 1.0 /. float_of_int sub_count
+
+(* ~73 minutes in nanoseconds; larger observations saturate. *)
+let clamp_max = (1 lsl 42) - 1
+
+let msb v =
+  (* index of the highest set bit; [v > 0] *)
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin
+    r := !r + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    r := !r + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    r := !r + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    r := !r + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    r := !r + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let clamp v = if v < 0 then 0 else if v > clamp_max then clamp_max else v
+
+let index_of v =
+  let v = clamp v in
+  if v < sub_count then v
+  else begin
+    let j = msb v - sub_bits in
+    (sub_count * (j + 1)) + ((v lsr j) - sub_count)
+  end
+
+(* [lo, up) covered by the bucket at [idx]. *)
+let bucket_bounds idx =
+  if idx < sub_count then (idx, idx + 1)
+  else begin
+    let j = (idx / sub_count) - 1 in
+    let sub = idx mod sub_count in
+    ((sub_count + sub) lsl j, (sub_count + sub + 1) lsl j)
+  end
+
+let max_index = index_of clamp_max
+
+(* smallest power of two that covers every reachable index *)
+let bucket_cap =
+  let c = ref 64 in
+  while !c <= max_index do
+    c := !c * 2
+  done;
+  !c
+
+type shard = {
+  mutable counts : int array; (* grows by doubling up to [bucket_cap] *)
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_max : int;
+}
+
+type t = {
+  hname : string;
+  shards : shard list ref;
+  shards_lock : Mutex.t;
+  key : shard Domain.DLS.key;
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 16
+let table_lock = Mutex.create ()
+
+let make hname =
+  Mutex.lock table_lock;
+  let h =
+    match Hashtbl.find_opt table hname with
+    | Some h -> h
+    | None ->
+      let shards = ref [] in
+      let shards_lock = Mutex.create () in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let s =
+              { counts = Array.make 64 0; s_count = 0; s_sum = 0; s_max = 0 }
+            in
+            Mutex.lock shards_lock;
+            shards := s :: !shards;
+            Mutex.unlock shards_lock;
+            s)
+      in
+      let h = { hname; shards; shards_lock; key } in
+      Hashtbl.add table hname h;
+      h
+  in
+  Mutex.unlock table_lock;
+  h
+
+let name t = t.hname
+
+(* Record one observation (nanoseconds). No-op while the sink is off. *)
+let observe t v =
+  if Obs.enabled () then begin
+    let v = clamp v in
+    let idx = index_of v in
+    let s = Domain.DLS.get t.key in
+    if idx >= Array.length s.counts then begin
+      let cap = ref (Array.length s.counts) in
+      while idx >= !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Array.make !cap 0 in
+      Array.blit s.counts 0 bigger 0 (Array.length s.counts);
+      s.counts <- bigger
+    end;
+    s.counts.(idx) <- s.counts.(idx) + 1;
+    s.s_count <- s.s_count + 1;
+    s.s_sum <- s.s_sum + v;
+    if v > s.s_max then s.s_max <- v
+  end
+
+(* Time [f] and record its wall duration. Reads the clock only when the
+   sink is on; the disabled path is a direct call. *)
+let timed t f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_ns () in
+    match f () with
+    | v ->
+      observe t (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      observe t (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* The [Span.timed_hist] hook: one span named after the histogram plus
+   one observation of the same duration, so existing trace consumers
+   see the exact event stream they saw before histograms existed. *)
+let timed_span ?args t f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    Obs.span_begin ?args t.hname;
+    let t0 = Obs.now_ns () in
+    match f () with
+    | v ->
+      observe t (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+      Obs.span_end t.hname;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      observe t (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+      Obs.span_end t.hname;
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Read side: merge the shards into one cumulative view. *)
+
+type snapshot = {
+  sn_name : string;
+  sn_count : int;
+  sn_sum : int; (* ns *)
+  sn_max : int; (* ns, exact (not a bucket bound) *)
+  sn_buckets : (int * int) array;
+      (* (bucket index, cumulative count) over non-empty buckets, in
+         ascending bucket order; the last cumulative count equals
+         [sn_count]. *)
+}
+
+let snapshot t =
+  Mutex.lock t.shards_lock;
+  let shards = !(t.shards) in
+  Mutex.unlock t.shards_lock;
+  let merged = Array.make bucket_cap 0 in
+  let count = ref 0 and sum = ref 0 and mx = ref 0 in
+  List.iter
+    (fun s ->
+      let a = s.counts in
+      for i = 0 to Array.length a - 1 do
+        merged.(i) <- merged.(i) + a.(i)
+      done;
+      count := !count + s.s_count;
+      sum := !sum + s.s_sum;
+      if s.s_max > !mx then mx := s.s_max)
+    shards;
+  let buckets = ref [] in
+  let cum = ref 0 in
+  for i = 0 to bucket_cap - 1 do
+    if merged.(i) > 0 then begin
+      cum := !cum + merged.(i);
+      buckets := (i, !cum) :: !buckets
+    end
+  done;
+  {
+    sn_name = t.hname;
+    sn_count = !count;
+    sn_sum = !sum;
+    sn_max = !mx;
+    sn_buckets = Array.of_list (List.rev !buckets);
+  }
+
+(* All registered histograms, name-sorted; [all] additionally keeps
+   empty ones (the exposition wants a stable metric set). *)
+let snapshots_all () =
+  Mutex.lock table_lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) table [] in
+  Mutex.unlock table_lock;
+  List.map snapshot
+    (List.sort (fun a b -> String.compare a.hname b.hname) hs)
+
+let snapshots () =
+  List.filter (fun sn -> sn.sn_count > 0) (snapshots_all ())
+
+(* Quantile estimate in nanoseconds (0 on an empty histogram). Uses the
+   bucket midpoint, clamped to the exact maximum; the log-linear scheme
+   bounds the relative error by [rel_error_bound]. *)
+let quantile sn q =
+  if sn.sn_count = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int sn.sn_count)) in
+      Stdlib.max 1 (Stdlib.min r sn.sn_count)
+    in
+    if rank = sn.sn_count then float_of_int sn.sn_max
+    else begin
+      let est = ref (float_of_int sn.sn_max) in
+      (try
+         Array.iter
+           (fun (idx, cum) ->
+             if cum >= rank then begin
+               let lo, up = bucket_bounds idx in
+               est := float_of_int (lo + up - 1) /. 2.;
+               raise Exit
+             end)
+           sn.sn_buckets
+       with Exit -> ());
+      Stdlib.min !est (float_of_int sn.sn_max)
+    end
+  end
+
+let quantile_ms sn q = quantile sn q /. 1e6
+let sum_ms sn = float_of_int sn.sn_sum /. 1e6
+let max_ms sn = float_of_int sn.sn_max /. 1e6
+
+(* Zero a histogram (all shards). Meant for quiesced points — between
+   bench sections, around a measured leg — not for concurrent use. *)
+let reset t =
+  Mutex.lock t.shards_lock;
+  let shards = !(t.shards) in
+  Mutex.unlock t.shards_lock;
+  List.iter
+    (fun s ->
+      Array.fill s.counts 0 (Array.length s.counts) 0;
+      s.s_count <- 0;
+      s.s_sum <- 0;
+      s.s_max <- 0)
+    shards
+
+let reset_all () =
+  Mutex.lock table_lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) table [] in
+  Mutex.unlock table_lock;
+  List.iter reset hs

@@ -1,0 +1,250 @@
+(* Minimal JSON support shared by the observability emitters and the
+   bench artefact tooling — the repo takes no JSON dependency.
+
+   [escape] hardens string emission against arbitrary bytes: quotes,
+   backslashes, control characters AND every byte >= 0x7f are emitted
+   as escapes, so the output is pure printable ASCII and therefore
+   valid JSON (and valid UTF-8) regardless of what bytes a
+   user-supplied span or counter name contains.
+
+   [parse] is a strict recursive-descent reader for the subset the
+   BENCH_*.json artefacts use (all of standard JSON, numbers as
+   floats). It exists so `ld bench-diff` can join artefacts without a
+   dependency; it is not a streaming parser and is not meant for huge
+   documents. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string * int
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal s.[!pos] c in
+  let advance () = incr pos in
+  let rec ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek_is c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal l v =
+    if !pos + String.length l <= n && String.sub s !pos (String.length l) = l
+    then begin
+      pos := !pos + String.length l;
+      v
+    end
+    else fail ("expected " ^ l)
+  in
+  let hex4 () =
+    let d c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape"
+    in
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      match peek () with
+      | Some c ->
+        v := (!v * 16) + d c;
+        advance ()
+      | None -> fail "bad \\u escape"
+    done;
+    !v
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' ->
+          Buffer.add_char buf '"';
+          advance ()
+        | Some '\\' ->
+          Buffer.add_char buf '\\';
+          advance ()
+        | Some '/' ->
+          Buffer.add_char buf '/';
+          advance ()
+        | Some 'b' ->
+          Buffer.add_char buf '\b';
+          advance ()
+        | Some 'f' ->
+          Buffer.add_char buf '\012';
+          advance ()
+        | Some 'n' ->
+          Buffer.add_char buf '\n';
+          advance ()
+        | Some 'r' ->
+          Buffer.add_char buf '\r';
+          advance ()
+        | Some 't' ->
+          Buffer.add_char buf '\t';
+          advance ()
+        | Some 'u' ->
+          advance ();
+          let v = hex4 () in
+          (* UTF-8 encode the code point; surrogate pairs are not
+             recombined — the artefacts never emit them. *)
+          if v < 0x80 then Buffer.add_char buf (Char.chr v)
+          else if v < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (v lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (v lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+          end
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    if peek_is '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    if peek_is '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      ws ();
+      if peek_is '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec go () =
+          ws ();
+          let k = string_lit () in
+          ws ();
+          expect ':';
+          let v = value () in
+          members := (k, v) :: !members;
+          ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            go ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        go ();
+        Obj (List.rev !members)
+      end
+    | Some '[' ->
+      advance ();
+      ws ();
+      if peek_is ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let elems = ref [] in
+        let rec go () =
+          elems := value () :: !elems;
+          ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            go ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        go ();
+        Arr (List.rev !elems)
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | _ -> fail "expected value"
+  in
+  let v = value () in
+  ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse contents
+
+(* Accessors used by the artefact tooling; [None] on shape mismatch. *)
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_list = function Arr vs -> Some vs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None

@@ -6,6 +6,14 @@ let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 let enabled () = Atomic.get on
 
+(* Long-running samplers (`ld top`, `ld metrics --serve --loop`) want
+   counters, gauges and histograms but would grow the span buffers
+   without bound; this second switch turns span events off while the
+   numeric side keeps recording. Only consulted when the sink is on. *)
+let spans_on = Atomic.make true
+let set_span_recording b = Atomic.set spans_on b
+let spans_enabled () = Atomic.get on && Atomic.get spans_on
+
 let now_ns () = Monotonic_clock.now ()
 let now_ms () = Int64.to_float (now_ns ()) /. 1e6
 
@@ -50,7 +58,7 @@ let push ev =
   b.len <- b.len + 1
 
 let span_begin ?(args = []) name =
-  if enabled () then
+  if spans_enabled () then
     push
       {
         ev_name = name;
@@ -61,7 +69,7 @@ let span_begin ?(args = []) name =
       }
 
 let span_end name =
-  if enabled () then
+  if spans_enabled () then
     push
       {
         ev_name = name;
@@ -72,7 +80,7 @@ let span_end name =
       }
 
 let with_span ?args name f =
-  if not (enabled ()) then f ()
+  if not (spans_enabled ()) then f ()
   else begin
     span_begin ?args name;
     match f () with
@@ -108,6 +116,28 @@ module Counter = struct
   let incr c = add c 1
   let value c = Atomic.get c.cell
   let name c = c.cname
+
+  (* Every registered counter (zeros included), name-sorted: a stable
+     basis for differencing around a section of work. *)
+  let snapshot_all () =
+    Mutex.lock table_lock;
+    let all =
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table []
+    in
+    Mutex.unlock table_lock;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+  (* [diff before after]: per-counter increments between two snapshots,
+     dropping zero deltas and counters absent from [after]. Counters
+     born between the snapshots count from zero. *)
+  let diff before after =
+    List.filter_map
+      (fun (name, v1) ->
+        let v0 =
+          match List.assoc_opt name before with Some v -> v | None -> 0
+        in
+        if v1 - v0 <> 0 then Some (name, v1 - v0) else None)
+      after
 end
 
 module Gauge = struct
@@ -197,10 +227,17 @@ let events () =
     (fun b -> List.init b.len (fun i -> b.evs.(i)))
     (buffers_snapshot ())
 
-let reset () =
+(* Drop recorded span events only, keeping counter and gauge values:
+   what a long-lived sampler calls to bound memory. Quiesce recording
+   domains first — truncating a buffer its owner is appending to loses
+   the in-flight event. *)
+let reset_events () =
   Mutex.lock registry_lock;
   List.iter (fun b -> b.len <- 0) !registry;
-  Mutex.unlock registry_lock;
+  Mutex.unlock registry_lock
+
+let reset () =
+  reset_events ();
   Mutex.lock Counter.table_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.Counter.cell 0) Counter.table;
   Mutex.unlock Counter.table_lock;

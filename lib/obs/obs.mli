@@ -25,10 +25,25 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
+val set_span_recording : bool -> unit
+(** Secondary switch for span events only. Long-running samplers
+    ([ld top], [ld metrics --serve]) set it to [false] so counters,
+    gauges and histograms keep recording while the per-domain span
+    buffers stop growing. Only consulted while the sink is enabled;
+    defaults to [true]. *)
+
+val spans_enabled : unit -> bool
+(** [enabled () && span recording on] — the gate {!with_span} uses. *)
+
 val reset : unit -> unit
 (** Empty every domain's event buffer and zero every counter. Buffers
     stay registered, so domains that already touched the sink keep
     recording after a reset. *)
+
+val reset_events : unit -> unit
+(** Empty the span event buffers only, keeping counter and gauge
+    values — what a long-lived sampler calls to bound memory. Quiesce
+    recording domains first. *)
 
 (** {1 Clock} *)
 
@@ -64,6 +79,15 @@ module Counter : sig
 
   val value : t -> int
   val name : t -> string
+
+  val snapshot_all : unit -> (string * int) list
+  (** Every registered counter — zeros included — sorted by name: a
+      stable basis for differencing around a section of work. *)
+
+  val diff : (string * int) list -> (string * int) list -> (string * int) list
+  (** [diff before after]: per-counter increments between two
+      {!snapshot_all} snapshots, dropping zero deltas. Counters born
+      between the snapshots count from zero. *)
 end
 
 val counters : unit -> (string * int) list

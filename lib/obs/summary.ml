@@ -207,6 +207,65 @@ let pp_level ~level fmt () =
       names;
     Format.fprintf fmt "@]"
 
+(* Machine-readable form of the [pp] tables plus histogram quantiles:
+   one JSON object so scripts can consume `ld stats --json` without
+   scraping the aligned text. Quantiles are reported in milliseconds
+   to match the text tables; the exposition endpoint is the place for
+   base-unit seconds. *)
+let to_json () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"spans\": [";
+  List.iteri
+    (fun i (name, (count, total, self)) ->
+      if i > 0 then add ",";
+      add "\n    {\"name\": \"%s\", \"count\": %d, \"total_ms\": %.6f, \
+           \"self_ms\": %.6f}"
+        (Json.escape name) count total self)
+    (Obs.span_totals ());
+  add "\n  ],\n  \"counters\": {";
+  let nonzero = List.filter (fun (_, v) -> v <> 0) (Obs.counters ()) in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add "\n    \"%s\": %d" (Json.escape name) v)
+    nonzero;
+  add "\n  },\n  \"gauges\": {";
+  let gauges = List.filter (fun (_, v) -> v <> 0) (Obs.gauges ()) in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add "\n    \"%s\": %d" (Json.escape name) v)
+    gauges;
+  add "\n  },\n  \"histograms\": [";
+  List.iteri
+    (fun i (sn : Hist.snapshot) ->
+      if i > 0 then add ",";
+      add
+        "\n    {\"name\": \"%s\", \"count\": %d, \"p50_ms\": %.6f, \
+         \"p90_ms\": %.6f, \"p99_ms\": %.6f, \"p999_ms\": %.6f, \
+         \"max_ms\": %.6f, \"sum_ms\": %.6f}"
+        (Json.escape sn.Hist.sn_name)
+        sn.Hist.sn_count
+        (Hist.quantile_ms sn 0.5) (Hist.quantile_ms sn 0.9)
+        (Hist.quantile_ms sn 0.99)
+        (Hist.quantile_ms sn 0.999)
+        (Hist.max_ms sn) (Hist.sum_ms sn))
+    (Hist.snapshots ());
+  add "\n  ],\n  \"domains\": [";
+  List.iteri
+    (fun i (tid, evs, tasks) ->
+      if i > 0 then add ",";
+      add "\n    {\"tid\": %d, \"events\": %d, \"pool_tasks\": %d}" tid evs
+        tasks)
+    (per_domain ());
+  add "\n  ]";
+  (match Obs.peak_rss_kb () with
+  | Some kb -> add ",\n  \"peak_rss_kb\": %d" kb
+  | None -> ());
+  add "\n}\n";
+  Buffer.contents buf
+
 let section_ms ~prefix =
   List.filter_map
     (fun (name, (_, total, _)) ->

@@ -1,14 +1,9 @@
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Span/counter names and arg strings are caller-supplied and may hold
+   arbitrary bytes; [Json.escape] renders them as pure-ASCII JSON
+   string contents (quotes, backslashes, control chars and bytes
+   >= 0x7f all escaped), so a hostile name can never produce an
+   invalid trace.json. *)
+let escape = Json.escape
 
 let add_args buf = function
   | [] -> ()

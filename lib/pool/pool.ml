@@ -41,7 +41,11 @@ let rec record_workers w =
 
 let max_workers_used () = Atomic.get effective_workers
 
-let run_task f x = Obs.with_span "core.pool.task" (fun () -> f x)
+(* [timed_span] emits the same "core.pool.task" span events as the
+   [with_span] it replaces, and additionally feeds the task's wall time
+   into the latency histogram of the same name. *)
+let h_task = Ld_obs.Hist.make "core.pool.task"
+let run_task f x = Ld_obs.Hist.timed_span h_task (fun () -> f x)
 
 let map ?domains f items =
   let input = Array.of_list items in

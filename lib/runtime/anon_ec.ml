@@ -13,6 +13,7 @@ let c_reflected = Obs.Counter.make "runtime.ec.loop_reflected"
 let c_sends = Obs.Counter.make "runtime.ec.sends"
 let c_cache_hits = Obs.Counter.make "runtime.ec.send_cache_hits"
 let c_active = Obs.Counter.make "runtime.ec.active_nodes"
+let h_round = Ld_obs.Hist.make "runtime.ec.round"
 
 module Inbox = struct
   (* A cursor over one node's dart segment [lo, hi) of the CSR arrays.
@@ -200,36 +201,37 @@ let exec_active machine ~limit ~par_threshold ~domains g =
     let rounds = ref 0 in
     let total_active = ref 0 in
     while !n_active > 0 && !rounds < limit do
-      let m = !n_active in
-      total_active := !total_active + m;
-      if domains > 1 && m >= par_threshold then begin
-        let ranges = chunk_ranges m domains in
-        Pool.map ~domains
-          (fun (lo, hi) ->
-            let ib = mk_inbox () in
-            recv_range ib lo hi;
-            ib)
-          ranges
-        |> List.iter drain;
-        ignore
-          (Pool.map ~domains (fun (lo, hi) -> refresh_range lo hi) ranges
-            : unit list)
-      end
-      else begin
-        recv_range seq_ib 0 m;
-        refresh_range 0 m
-      end;
-      sends := !sends + m;
-      (* Compact the worklist in place, preserving node order. *)
-      let w = ref 0 in
-      for k = 0 to m - 1 do
-        let v = active.(k) in
-        if not frozen.(v) then begin
-          active.(!w) <- v;
-          incr w
-        end
-      done;
-      n_active := !w;
+      Ld_obs.Hist.timed h_round (fun () ->
+          let m = !n_active in
+          total_active := !total_active + m;
+          if domains > 1 && m >= par_threshold then begin
+            let ranges = chunk_ranges m domains in
+            Pool.map ~domains
+              (fun (lo, hi) ->
+                let ib = mk_inbox () in
+                recv_range ib lo hi;
+                ib)
+              ranges
+            |> List.iter drain;
+            ignore
+              (Pool.map ~domains (fun (lo, hi) -> refresh_range lo hi) ranges
+                : unit list)
+          end
+          else begin
+            recv_range seq_ib 0 m;
+            refresh_range 0 m
+          end;
+          sends := !sends + m;
+          (* Compact the worklist in place, preserving node order. *)
+          let w = ref 0 in
+          for k = 0 to m - 1 do
+            let v = active.(k) in
+            if not frozen.(v) then begin
+              active.(!w) <- v;
+              incr w
+            end
+          done;
+          n_active := !w);
       incr rounds
     done;
     drain seq_ib;

@@ -9,6 +9,7 @@ let c_reflected = Obs.Counter.make "runtime.po.loop_reflected"
 let c_sends = Obs.Counter.make "runtime.po.sends"
 let c_cache_hits = Obs.Counter.make "runtime.po.send_cache_hits"
 let c_active = Obs.Counter.make "runtime.po.active_nodes"
+let h_round = Ld_obs.Hist.make "runtime.po.round"
 
 type dart_key = { out : bool; colour : int }
 
@@ -200,35 +201,36 @@ let exec_active machine ~limit ~par_threshold ~domains g =
     let rounds = ref 0 in
     let total_active = ref 0 in
     while !n_active > 0 && !rounds < limit do
-      let m = !n_active in
-      total_active := !total_active + m;
-      if domains > 1 && m >= par_threshold then begin
-        let ranges = chunk_ranges m domains in
-        Pool.map ~domains
-          (fun (lo, hi) ->
-            let ib = mk_inbox () in
-            recv_range ib lo hi;
-            ib)
-          ranges
-        |> List.iter drain;
-        ignore
-          (Pool.map ~domains (fun (lo, hi) -> refresh_range lo hi) ranges
-            : unit list)
-      end
-      else begin
-        recv_range seq_ib 0 m;
-        refresh_range 0 m
-      end;
-      sends := !sends + m;
-      let w = ref 0 in
-      for k = 0 to m - 1 do
-        let v = active.(k) in
-        if not frozen.(v) then begin
-          active.(!w) <- v;
-          incr w
-        end
-      done;
-      n_active := !w;
+      Ld_obs.Hist.timed h_round (fun () ->
+          let m = !n_active in
+          total_active := !total_active + m;
+          if domains > 1 && m >= par_threshold then begin
+            let ranges = chunk_ranges m domains in
+            Pool.map ~domains
+              (fun (lo, hi) ->
+                let ib = mk_inbox () in
+                recv_range ib lo hi;
+                ib)
+              ranges
+            |> List.iter drain;
+            ignore
+              (Pool.map ~domains (fun (lo, hi) -> refresh_range lo hi) ranges
+                : unit list)
+          end
+          else begin
+            recv_range seq_ib 0 m;
+            refresh_range 0 m
+          end;
+          sends := !sends + m;
+          let w = ref 0 in
+          for k = 0 to m - 1 do
+            let v = active.(k) in
+            if not frozen.(v) then begin
+              active.(!w) <- v;
+              incr w
+            end
+          done;
+          n_active := !w);
       incr rounds
     done;
     drain seq_ib;

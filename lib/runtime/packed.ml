@@ -28,6 +28,10 @@ let c_sends = Obs.Counter.make "runtime.packed.sends"
 let c_darts = Obs.Counter.make "runtime.packed.darts_scanned"
 let c_active = Obs.Counter.make "runtime.packed.active_nodes"
 
+(* Both executors feed one per-round latency histogram: the bench
+   resets it around each measured run and reads p50/p99 off the merge. *)
+let h_round = Ld_obs.Hist.make "runtime.packed.round"
+
 type stats = { rounds : int; sends : int; darts_scanned : int }
 
 let default_par_threshold = 4096
@@ -108,33 +112,34 @@ module Broadcast = struct
     let darts = ref 0 in
     let total_active = ref 0 in
     while !n_active > 0 && !rounds < max_rounds do
-      let mact = !n_active in
-      total_active := !total_active + mact;
-      darts := !darts + !deg_sum;
-      if domains > 1 && mact >= par_threshold then begin
-        let ranges = Chunk.ranges mact domains in
-        ignore (Pool.map ~domains (fun (lo, hi) -> recv_active lo hi) ranges
-                 : unit list);
-        ignore
-          (Pool.map ~domains (fun (lo, hi) -> refresh_active lo hi) ranges
-            : unit list)
-      end
-      else begin
-        recv_active 0 mact;
-        refresh_active 0 mact
-      end;
-      sends := !sends + mact;
-      let w = ref 0 in
-      deg_sum := 0;
-      for k = 0 to mact - 1 do
-        let v = active.(k) in
-        if Bytes.get frozen v = '\000' then begin
-          active.(!w) <- v;
-          incr w;
-          deg_sum := !deg_sum + row.(v + 1) - row.(v)
-        end
-      done;
-      n_active := !w;
+      Ld_obs.Hist.timed h_round (fun () ->
+          let mact = !n_active in
+          total_active := !total_active + mact;
+          darts := !darts + !deg_sum;
+          if domains > 1 && mact >= par_threshold then begin
+            let ranges = Chunk.ranges mact domains in
+            ignore (Pool.map ~domains (fun (lo, hi) -> recv_active lo hi) ranges
+                     : unit list);
+            ignore
+              (Pool.map ~domains (fun (lo, hi) -> refresh_active lo hi) ranges
+                : unit list)
+          end
+          else begin
+            recv_active 0 mact;
+            refresh_active 0 mact
+          end;
+          sends := !sends + mact;
+          let w = ref 0 in
+          deg_sum := 0;
+          for k = 0 to mact - 1 do
+            let v = active.(k) in
+            if Bytes.get frozen v = '\000' then begin
+              active.(!w) <- v;
+              incr w;
+              deg_sum := !deg_sum + row.(v + 1) - row.(v)
+            end
+          done;
+          n_active := !w);
       incr rounds
     done;
     let stats =
@@ -221,33 +226,34 @@ module Port = struct
     let darts = ref 0 in
     let total_active = ref 0 in
     while !n_active > 0 && !rounds < max_rounds do
-      let mact = !n_active in
-      total_active := !total_active + mact;
-      darts := !darts + !deg_sum;
-      if domains > 1 && mact >= par_threshold then begin
-        let ranges = Chunk.ranges mact domains in
-        ignore (Pool.map ~domains (fun (lo, hi) -> recv_active lo hi) ranges
-                 : unit list);
-        ignore
-          (Pool.map ~domains (fun (lo, hi) -> refresh_active lo hi) ranges
-            : unit list)
-      end
-      else begin
-        recv_active 0 mact;
-        refresh_active 0 mact
-      end;
-      sends := !sends + !deg_sum;
-      let w = ref 0 in
-      deg_sum := 0;
-      for k = 0 to mact - 1 do
-        let v = active.(k) in
-        if Bytes.get frozen v = '\000' then begin
-          active.(!w) <- v;
-          incr w;
-          deg_sum := !deg_sum + row.(v + 1) - row.(v)
-        end
-      done;
-      n_active := !w;
+      Ld_obs.Hist.timed h_round (fun () ->
+          let mact = !n_active in
+          total_active := !total_active + mact;
+          darts := !darts + !deg_sum;
+          if domains > 1 && mact >= par_threshold then begin
+            let ranges = Chunk.ranges mact domains in
+            ignore (Pool.map ~domains (fun (lo, hi) -> recv_active lo hi) ranges
+                     : unit list);
+            ignore
+              (Pool.map ~domains (fun (lo, hi) -> refresh_active lo hi) ranges
+                : unit list)
+          end
+          else begin
+            recv_active 0 mact;
+            refresh_active 0 mact
+          end;
+          sends := !sends + !deg_sum;
+          let w = ref 0 in
+          deg_sum := 0;
+          for k = 0 to mact - 1 do
+            let v = active.(k) in
+            if Bytes.get frozen v = '\000' then begin
+              active.(!w) <- v;
+              incr w;
+              deg_sum := !deg_sum + row.(v + 1) - row.(v)
+            end
+          done;
+          n_active := !w);
       incr rounds
     done;
     let stats =

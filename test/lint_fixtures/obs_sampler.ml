@@ -1,0 +1,13 @@
+(* Fixture: a metrics sampler living outside lib/obs. The scrape
+   timestamp reads are acknowledged (samplers may label frames with
+   wall time); the unsuppressed clock reads and global Random use
+   must each surface as nondet-source. *)
+
+(* ld-lint: allow nondet-source — frame label only, never in a certificate *)
+let frame_stamp () = Unix.gettimeofday ()
+
+(* ld-lint: allow nondet-source — scrape jitter is cosmetic *)
+let scrape_jitter () = Random.float 0.1
+
+let sample_interval () = Sys.time ()
+let shuffle_targets xs = List.map (fun x -> (Random.bits (), x)) xs

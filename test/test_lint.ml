@@ -24,6 +24,7 @@ let dirty_fixtures =
     ("poly_compare.ml", "poly-compare", 5);
     ("refinement_poly.ml", "poly-compare", 5);
     ("nondet.ml", "nondet-source", 4);
+    ("obs_sampler.ml", "nondet-source", 2);
     ("domain_safety.ml", "domain-safety", 3);
     ("packed_state.ml", "domain-safety", 3);
     ("machine_purity.ml", "machine-purity", 4);
