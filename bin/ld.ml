@@ -9,6 +9,8 @@
      ld stats      run the adversary and print the observability summary
      ld metrics    expose the metric registry in OpenMetrics text format
      ld top        live terminal dashboard over a running workload
+     ld serve      certificate service over a length-prefixed JSON socket
+     ld load       closed-loop load harness replaying verify requests
      ld bench-diff compare two bench artefacts, fail on regressions
      ld lint       run the determinism/exactness static analyzer
 
@@ -771,6 +773,136 @@ let bench_diff_cmd =
       const bench_diff $ common_term $ old_path $ new_path $ tolerance
       $ normalize $ min_wall_ms)
 
+(* ---- serve / load ---- *)
+
+let serve common port store_dir no_store max_delta preload metrics_port =
+  with_common common @@ fun () ->
+  Serve.run ~port ~store_dir ~no_store ~max_delta ~preload ~metrics_port ()
+
+let port_arg =
+  Arg.(
+    value & opt int 7421
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent certificate store directory (default: $(b,LD_STORE), \
+           else ~/.cache/ld).")
+
+let serve_cmd =
+  let no_store =
+    Arg.(
+      value & flag
+      & info [ "no-store" ]
+          ~doc:"Run purely in memory; do not touch the persistent store.")
+  in
+  let max_delta =
+    Arg.(
+      value & opt int 20
+      & info [ "max-delta" ] ~docv:"DELTA"
+          ~doc:"Reject requests above this delta.")
+  in
+  let preload =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preload" ] ~docv:"DELTA"
+          ~doc:
+            "Before accepting clients, build (or warm-load) the \
+             constructions for delta=2..$(docv), fanned out over the \
+             domain pool.")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"Also serve GET /metrics (OpenMetrics) on $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running certificate service: batched probe/verify/frontier \
+          requests over a length-prefixed JSON protocol, one shared memo \
+          cache across connections, constructions persisted in the \
+          content-addressed store so restarts are warm.")
+    Term.(
+      const serve $ common_term $ port_arg $ store_dir_arg $ no_store
+      $ max_delta $ preload $ metrics_port)
+
+let load common port conns batch requests max_delta skew seed quick out
+    shutdown =
+  with_common common @@ fun () ->
+  Load.run ~port ~conns ~batch ~requests ~max_delta ~skew ~seed ~quick ~out
+    ~shutdown ()
+
+let load_cmd =
+  let conns =
+    Arg.(
+      value & opt int 8
+      & info [ "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Requests per frame.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Total verify requests to send.")
+  in
+  let max_delta =
+    Arg.(
+      value & opt int 8
+      & info [ "max-delta" ] ~docv:"DELTA"
+          ~doc:"Largest delta in the request mix.")
+  in
+  let skew =
+    Arg.(
+      value & opt float 1.0
+      & info [ "skew" ] ~docv:"ALPHA"
+          ~doc:
+            "Key-skew exponent: delta is drawn with weight \
+             1/(delta-1)^$(docv); 0 = uniform.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (splitmix64).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI smoke: cap at 100k requests over 4 connections.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_SERVE.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON artefact.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the server to exit after the run (CI convenience).")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Closed-loop load harness for $(b,ld serve): replay millions of \
+          skewed verification requests over concurrent connections and \
+          write throughput, latency quantiles, hit ratios and peak RSS to \
+          a bench-diff-joinable JSON artefact.")
+    Term.(
+      const load $ common_term $ port_arg $ conns $ batch $ requests
+      $ max_delta $ skew $ seed $ quick $ out $ shutdown)
+
 (* ---- bench-runtime ---- *)
 
 let bench_runtime common quick out =
@@ -855,7 +987,7 @@ let main_cmd =
          "Linear-in-Delta lower bounds in the LOCAL model — executable \
           reproduction of Goos, Hirvonen, Suomela (PODC 2014).")
     [ adversary_cmd; pack_cmd; match_cmd; factor_cmd; order_cmd; report_cmd; dot_cmd;
-      certify_cmd; verify_cmd; stats_cmd; metrics_cmd; top_cmd; bench_diff_cmd;
-      bench_runtime_cmd; lint_cmd ]
+      certify_cmd; verify_cmd; stats_cmd; metrics_cmd; top_cmd; serve_cmd;
+      load_cmd; bench_diff_cmd; bench_runtime_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

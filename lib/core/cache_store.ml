@@ -1,0 +1,170 @@
+(* Warm-restart persistence — see cache_store.mli for the policy. *)
+
+module LB = Lower_bound
+module Store = Ld_store.Store
+module Obs = Ld_obs.Obs
+
+let c_warm = Obs.Counter.make "core.cache_store.warm"
+let c_cold = Obs.Counter.make "core.cache_store.cold"
+let c_levels_saved = Obs.Counter.make "core.cache_store.levels_saved"
+
+let code_version = "1"
+
+let key ~delta ~level ~algo ~check_views =
+  Printf.sprintf "ld-cache/v%s delta=%d level=%d views=%b algo=%s" code_version
+    delta level check_views algo
+
+type entry = {
+  entry_level : int;
+  entry_certificate : LB.certificate;
+  entry_probes : LB.probe list;
+}
+
+(* Entry framing: level, certificate, probe count, probes — all via the
+   Certificate_io binary codec conventions (64-bit LE ints). *)
+
+let put_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let get_int s pos =
+  if !pos + 8 > String.length s then
+    failwith "Cache_store: truncated binary record";
+  let v = Int64.to_int (String.get_int64_le s !pos) in
+  pos := !pos + 8;
+  v
+
+let entry_to_string e =
+  let buf = Buffer.create 4096 in
+  put_int buf e.entry_level;
+  Certificate_io.certificate_to_binary buf e.entry_certificate;
+  put_int buf (List.length e.entry_probes);
+  List.iter (Certificate_io.probe_to_binary buf) e.entry_probes;
+  Buffer.contents buf
+
+let entry_of_string s =
+  let decode () =
+    let pos = ref 0 in
+    let entry_level = get_int s pos in
+    let entry_certificate = Certificate_io.certificate_of_binary s ~pos in
+    let n = get_int s pos in
+    if n < 0 || n > String.length s then
+      failwith "Cache_store: absurd probe count";
+    let entry_probes =
+      List.init n (fun _ -> Certificate_io.probe_of_binary s ~pos)
+    in
+    if !pos <> String.length s then
+      failwith "Cache_store: trailing bytes after entry";
+    { entry_level; entry_certificate; entry_probes }
+  in
+  (* A garbled-but-checksummed payload can trip constructor validation
+     ([Ec.create_arrays], [Q.of_string]) with [Invalid_argument] or
+     [Division_by_zero]; fold those into the codec's [Failure] contract
+     so callers have one corruption signal. *)
+  match decode () with
+  | e -> e
+  | exception Invalid_argument msg ->
+    failwith ("Cache_store: invalid binary record: " ^ msg)
+  | exception Division_by_zero ->
+    failwith "Cache_store: invalid binary record: division by zero"
+
+let save_cache store cache =
+  match LB.cache_outcome cache with
+  | LB.Refuted _ -> false
+  | LB.Certified certs ->
+    let delta = LB.cache_delta cache in
+    let algo = LB.cache_algo_name cache in
+    let check_views = LB.cache_check_views cache in
+    let probes = LB.cache_probes cache in
+    let grouped =
+      List.map
+        (fun (c : LB.certificate) ->
+          ( c,
+            List.filter
+              (fun (p : LB.probe) -> p.probe_level = c.level)
+              probes ))
+        certs
+    in
+    let covered =
+      List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 grouped
+    in
+    if covered <> List.length probes then
+      (* Some probe's level matches no certificate — the partition
+         assumption the warm path depends on is broken; refuse to
+         persist a construction we could not faithfully reload. *)
+      false
+    else begin
+      List.iter
+        (fun ((c : LB.certificate), entry_probes) ->
+          let payload =
+            entry_to_string
+              {
+                entry_level = c.level;
+                entry_certificate = c;
+                entry_probes;
+              }
+          in
+          Store.put store
+            ~key:(key ~delta ~level:c.level ~algo ~check_views)
+            payload;
+          Obs.Counter.incr c_levels_saved)
+        grouped;
+      true
+    end
+
+let load_cache store ~check_views ~delta ~algo_name =
+  if delta < 2 then invalid_arg "Cache_store.load_cache: delta < 2";
+  let corrupt k msg =
+    raise (Store.Store_corrupt (Printf.sprintf "%s: %s" k msg))
+  in
+  let rec fetch acc level =
+    if level > delta - 2 then Some (List.rev acc)
+    else begin
+      let k = key ~delta ~level ~algo:algo_name ~check_views in
+      match Store.get store ~key:k with
+      | None -> None
+      | Some payload ->
+        let e =
+          match entry_of_string payload with
+          | e -> e
+          | exception Failure msg -> corrupt k msg
+        in
+        if e.entry_level <> level then corrupt k "entry level mismatch";
+        fetch (e :: acc) (level + 1)
+    end
+  in
+  match fetch [] 0 with
+  | None -> None
+  | Some entries ->
+    let certs = List.map (fun e -> e.entry_certificate) entries in
+    let probes = List.concat_map (fun e -> e.entry_probes) entries in
+    Some
+      (LB.assemble_cache ~delta ~algo_name ~check_views ~probes
+         ~outcome:(LB.Certified certs))
+
+let build_cache ?store ?(check_views = true) ?(incremental_views = true)
+    ~delta (algo : LB.algorithm) =
+  match store with
+  | None -> LB.build_cache ~check_views ~incremental_views ~delta algo
+  | Some store -> (
+    if delta < 2 then invalid_arg "Cache_store.build_cache: delta < 2";
+    let warm =
+      match load_cache store ~check_views ~delta ~algo_name:algo.name with
+      | warm -> warm
+      | exception Store.Store_corrupt _ ->
+        (* Self-heal: [store.corrupt] already counted the incident;
+           drop the damaged level records so the cold re-save below
+           publishes clean ones, and recompute. *)
+        for level = 0 to delta - 2 do
+          Store.delete store
+            ~key:(key ~delta ~level ~algo:algo.name ~check_views)
+        done;
+        None
+    in
+    match warm with
+    | Some cache ->
+      Obs.Counter.incr c_warm;
+      cache
+    | None ->
+      Obs.Counter.incr c_cold;
+      let cache = LB.build_cache ~check_views ~incremental_views ~delta algo in
+      let (_ : bool) = save_cache store cache in
+      cache)

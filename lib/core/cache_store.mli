@@ -1,0 +1,76 @@
+(** Warm-restart persistence for memoised constructions.
+
+    {!Lower_bound.build_cache} is the dominant cost of every frontier
+    scan: it runs the full adversary once per [(delta, algorithm)].
+    This module spills the resulting cache into a content-addressed
+    {!Ld_store.Store} as one record per level — the level's certificate
+    plus every feasibility probe recorded while constructing it — and
+    rebuilds the cache on a later run without executing the algorithm
+    at all, so a second full THM1 sweep is dominated by I/O.
+
+    Keys include a {!code_version} fingerprint: bumping it (on any
+    codec or construction change) cleanly invalidates old records
+    instead of misreading them. Only [Certified] outcomes are stored —
+    a refutation carries a failure witness whose value is in being
+    fresh, and refuted runs are cheap (they stop early).
+
+    Corruption policy: a record that fails the store's frame checks or
+    this module's decode surfaces as {!Ld_store.Store.Store_corrupt}
+    from {!load_cache}; the {!build_cache} wrapper catches it, deletes
+    the damaged records, recomputes cold and re-saves
+    ([store.corrupt] counts the incident). A corrupt store never
+    crashes a run and never masquerades as a hit. *)
+
+module Store = Ld_store.Store
+
+(** Bump on any change to the entry codec or to the construction
+    itself; stale records then miss instead of being misread. *)
+val code_version : string
+
+(** The store key of one level's record. Single-line, human-greppable
+    in the store index: [ld-cache/v<ver> delta=<d> level=<l>
+    views=<b> algo=<name>]. *)
+val key : delta:int -> level:int -> algo:string -> check_views:bool -> string
+
+(** One persisted level: its certificate and, in canonical check
+    order, the probes recorded while constructing it. *)
+type entry = {
+  entry_level : int;
+  entry_certificate : Lower_bound.certificate;
+  entry_probes : Lower_bound.probe list;
+}
+
+val entry_to_string : entry -> string
+
+(** @raise Failure on malformed input (trailing bytes included). *)
+val entry_of_string : string -> entry
+
+(** [save_cache store cache] writes one record per certified level.
+    Returns [false] (and writes nothing) for a [Refuted] outcome or a
+    cache whose probes don't partition by certificate level. Writing
+    an already-present level is a no-op ({!Store.put} recognises the
+    byte-identical record). *)
+val save_cache : Store.t -> Lower_bound.cache -> bool
+
+(** [load_cache store ~check_views ~delta ~algo_name] reassembles a
+    cache from the store, or [None] if any level [0 … delta-2] is
+    missing. The reassembled cache is field-for-field identical to the
+    {!Lower_bound.build_cache} original (the warm/cold pin in
+    [test_store] holds this to byte-identical serialisations).
+    @raise Store.Store_corrupt if a present record is undecodable.
+    @raise Invalid_argument if [delta < 2]. *)
+val load_cache :
+  Store.t -> check_views:bool -> delta:int -> algo_name:string ->
+  Lower_bound.cache option
+
+(** [build_cache ?store ~delta algo] is {!Lower_bound.build_cache}
+    with optional persistence: with a store, a fully-populated set of
+    level records short-circuits the construction entirely (no
+    [core.lb.build_cache] span is emitted, [core.cache_store.warm]
+    increments); on a miss or corruption it recomputes and saves
+    ([core.cache_store.cold]). Without [store] it is exactly
+    {!Lower_bound.build_cache}.
+    @raise Invalid_argument if [delta < 2]. *)
+val build_cache :
+  ?store:Store.t -> ?check_views:bool -> ?incremental_views:bool ->
+  delta:int -> Lower_bound.algorithm -> Lower_bound.cache

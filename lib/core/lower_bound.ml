@@ -514,6 +514,30 @@ let build_cache ?(check_views = true) ?(incremental_views = true) ~delta algo =
   }
 
 let cache_outcome cache = cache.cache_outcome
+let cache_delta cache = cache.cache_delta
+let cache_algo_name cache = cache.cache_algo_name
+let cache_check_views cache = cache.cache_check_views
+let cache_probes cache = cache.cache_probes
+
+(* Rebuild a cache from stored parts (the persistent store's warm
+   path). The thresholds are a pure function of the probes, and the
+   Refuted fixup mirrors [build_cache]: when the base itself failed,
+   the failing probe is the last recorded one and no truncation of it
+   passes either. *)
+let assemble_cache ~delta ~algo_name ~check_views ~probes ~outcome =
+  let prefix_rounds = Array.of_list (List.map prefix_round probes) in
+  (match outcome with
+  | Refuted _ when Array.length prefix_rounds > 0 ->
+    prefix_rounds.(Array.length prefix_rounds - 1) <- max_int
+  | _ -> ());
+  {
+    cache_delta = delta;
+    cache_check_views = check_views;
+    cache_algo_name = algo_name;
+    cache_outcome = outcome;
+    cache_probes = probes;
+    cache_prefix_rounds = prefix_rounds;
+  }
 
 exception Diverged
 

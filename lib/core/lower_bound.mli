@@ -164,6 +164,35 @@ val cached_run : cache -> algorithm -> outcome
     greedy-by-colour or [rounds < 0]. *)
 val truncated_replay : cache -> rounds:int -> outcome
 
+(** {2 Cache introspection and reassembly}
+
+    The persistent certificate store ({!Cache_store}) serialises a
+    cache as per-level records and rebuilds it on warm restart without
+    re-running the adversary. These accessors expose exactly the data
+    that determines a cache; {!assemble_cache} is the inverse. *)
+
+(** One recorded feasibility probe: the graph the base algorithm was
+    run on at [probe_level], together with its output. The probe list
+    of a cache is in canonical check order (level 0: G_0 then H_0;
+    level i: GG, HH, GH). *)
+type probe = { probe_level : int; probe_graph : Ec.t; probe_base : Fm.t }
+
+val cache_delta : cache -> int
+val cache_algo_name : cache -> string
+val cache_check_views : cache -> bool
+val cache_probes : cache -> probe list
+
+(** [assemble_cache ~delta ~algo_name ~check_views ~probes ~outcome]
+    rebuilds a cache from stored parts. The per-probe feasibility
+    thresholds are recomputed from the probes (they are a pure function
+    of the recorded outputs), so a reassembled cache is
+    indistinguishable from the {!build_cache} original: [cached_run],
+    {!truncated_replay} and {!truncated_verdict} return identical
+    results. No algorithm is run. *)
+val assemble_cache :
+  delta:int -> algo_name:string -> check_views:bool -> probes:probe list ->
+  outcome:outcome -> cache
+
 (** [truncated_verdict cache ~rounds] is the constructor of
     [truncated_replay cache ~rounds] alone ([`Certified] or
     [`Refuted]), skipping the failure-witness materialisation (the

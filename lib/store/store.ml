@@ -1,0 +1,199 @@
+(* Content-addressed persistent record store — see store.mli for the
+   layout and guarantees. No dependencies beyond the stdlib Digest
+   (MD5) and Unix (pid for staging names, rename).
+
+   Record frame:
+     bytes 0..3    magic "LDS1"
+     bytes 4..11   payload length, 64-bit little-endian
+     bytes 12..27  MD5 of the payload (raw 16 bytes)
+     bytes 28..    payload
+   A reader that validated the header once can mmap the file and use
+   the payload in place (fixed [payload_offset], no trailer). *)
+
+module Obs = Ld_obs.Obs
+
+let c_hits = Obs.Counter.make "store.hits"
+let c_misses = Obs.Counter.make "store.misses"
+let c_puts = Obs.Counter.make "store.puts"
+let c_corrupt = Obs.Counter.make "store.corrupt"
+let c_bytes_read = Obs.Counter.make "store.bytes_read"
+let c_bytes_written = Obs.Counter.make "store.bytes_written"
+
+exception Store_corrupt of string
+
+let magic = "LDS1"
+let payload_offset = 4 + 8 + 16
+
+type t = { root : string }
+
+let dir t = t.root
+
+let default_dir () =
+  match Sys.getenv_opt "LD_STORE" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "ld"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "ld"
+      | _ -> ".ld-store"))
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    match Sys.mkdir path 0o755 with
+    | () -> ()
+    | exception Sys_error _ ->
+      (* A racing process may have created it between the check and the
+         mkdir; only a directory that still does not exist is an error. *)
+      if not (Sys.file_exists path) then
+        failwith ("Store: cannot create directory " ^ path)
+  end
+
+let open_store ?dir () =
+  let root = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p root;
+  mkdir_p (Filename.concat root "objects");
+  mkdir_p (Filename.concat root "tmp");
+  { root }
+
+let digest_hex key = Digest.to_hex (Digest.string key)
+
+let object_path t digest =
+  Filename.concat
+    (Filename.concat (Filename.concat t.root "objects") (String.sub digest 0 2))
+    digest
+
+let index_path t = Filename.concat t.root "index"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validate a raw record file image; the payload on success. *)
+let validate ~path raw =
+  let fail what =
+    Obs.Counter.incr c_corrupt;
+    raise (Store_corrupt (Printf.sprintf "%s: %s" path what))
+  in
+  if String.length raw < payload_offset then fail "record shorter than header";
+  if String.sub raw 0 4 <> magic then fail "bad magic";
+  let len = Int64.to_int (String.get_int64_le raw 4) in
+  if len < 0 || String.length raw <> payload_offset + len then
+    fail
+      (Printf.sprintf "length mismatch (header says %d, file carries %d)" len
+         (String.length raw - payload_offset));
+  let payload = String.sub raw payload_offset len in
+  let sum = String.sub raw 12 16 in
+  if not (Digest.equal sum (Digest.string payload)) then
+    fail "checksum mismatch";
+  payload
+
+let get t ~key =
+  let path = object_path t (digest_hex key) in
+  if not (Sys.file_exists path) then begin
+    Obs.Counter.incr c_misses;
+    None
+  end
+  else begin
+    let raw = read_file path in
+    let payload = validate ~path raw in
+    Obs.Counter.incr c_hits;
+    Obs.Counter.add c_bytes_read (String.length raw);
+    Some payload
+  end
+
+let mem t ~key = Sys.file_exists (object_path t (digest_hex key))
+
+let delete t ~key =
+  let path = object_path t (digest_hex key) in
+  if Sys.file_exists path then Sys.remove path
+
+let append_index t ~digest ~size ~key =
+  (* One short O_APPEND write per put; the index is advisory. Keys are
+     single-line by construction (Cache_store builds them); a newline
+     smuggled into a key would only garble the advisory index. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (index_path t)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Printf.fprintf oc "%s %d %s\n" digest size key)
+
+let frame payload =
+  let buf = Buffer.create (payload_offset + String.length payload) in
+  Buffer.add_string buf magic;
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf (Digest.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let put t ~key payload =
+  let digest = digest_hex key in
+  let path = object_path t digest in
+  let already_valid =
+    Sys.file_exists path
+    &&
+    match validate ~path (read_file path) with
+    | stored ->
+      (* Content addressing: an existing valid record for this key is
+         necessarily the same bytes; re-writing it would be pure churn.
+         A payload that differs anyway means the caller broke the
+         content-addressing contract — refuse to paper over it. *)
+      if not (String.equal stored payload) then
+        raise
+          (Store_corrupt
+             (path ^ ": existing valid record differs from re-put payload \
+                      (key is not content-addressed)"));
+      true
+    | exception Store_corrupt _ -> false
+  in
+  if not already_valid then begin
+    mkdir_p (Filename.dirname path);
+    let staged =
+      Filename.concat
+        (Filename.concat t.root "tmp")
+        (Printf.sprintf "%s.%d.%Ld" digest (Unix.getpid ()) (Obs.now_ns ()))
+    in
+    let raw = frame payload in
+    let oc = open_out_bin staged in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc raw);
+    (* Atomic publish: readers see either no record or a whole record,
+       and concurrent putters of the same key rename byte-identical
+       files over each other — exactly one valid record remains. *)
+    Sys.rename staged path;
+    Obs.Counter.incr c_puts;
+    Obs.Counter.add c_bytes_written (String.length raw);
+    append_index t ~digest ~size:(String.length payload) ~key
+  end
+
+let entries t =
+  if not (Sys.file_exists (index_path t)) then []
+  else begin
+    let text = read_file (index_path t) in
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ' ' with
+        | None -> None
+        | Some i -> (
+          let digest = String.sub line 0 i in
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match String.index_opt rest ' ' with
+          | None -> None
+          | Some j ->
+            let size = int_of_string_opt (String.sub rest 0 j) in
+            let key = String.sub rest (j + 1) (String.length rest - j - 1) in
+            (match size with
+            | Some size when not (Hashtbl.mem seen digest) ->
+              Hashtbl.add seen digest ();
+              Some (digest, size, key)
+            | _ -> None)))
+      (String.split_on_char '\n' text)
+  end

@@ -1,0 +1,24 @@
+(* Fixture: a socket accept loop in the `ld serve` style. Swallowing
+   every exception around accept/handle hides real failures (a bind
+   race, a protocol bug) behind "client went away" — each catch-all
+   must surface as exn-swallow. The connection stamp is acknowledged:
+   labelling a connection with wall time is cosmetic and never enters
+   a certificate or a stored record. *)
+
+(* ld-lint: allow nondet-source — connection label only, never in a record *)
+let conn_stamp () = Unix.gettimeofday ()
+
+let accept_loop sock handle =
+  while true do
+    try
+      let fd, _ = Unix.accept sock in
+      handle ~stamp:(conn_stamp ()) fd
+    with _ -> ()
+  done
+
+let close_quietly fd = try Unix.close fd with _ -> ()
+
+(* Matching the specific exception is the sanctioned shape: a torn-down
+   peer is expected, anything else propagates. No diagnostic here. *)
+let close_specific fd =
+  try Unix.close fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()

@@ -30,6 +30,7 @@ let dirty_fixtures =
     ("machine_purity.ml", "machine-purity", 4);
     ("obj_magic.ml", "obj-magic", 2);
     ("exn_swallow.ml", "exn-swallow", 2);
+    ("serve_loop.ml", "exn-swallow", 2);
   ]
 
 let each_fixture_triggers_only_its_rule () =

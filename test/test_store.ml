@@ -1,0 +1,309 @@
+(* Ld_store + Cache_store: the persistent certificate store.
+
+   - frame round-trip and corruption detection: any single-byte flip in
+     a record file surfaces as [Store_corrupt], never as a silent wrong
+     payload and never as a crash;
+   - entry codec round-trip: decode-then-re-encode is byte-identical,
+     truncation at every prefix raises [Failure];
+   - warm restart: a cache reloaded from the store re-serialises
+     byte-for-byte like the cold one, and its analytic frontier
+     verdicts agree at every truncation;
+   - put races: concurrent putters of one content-addressed key leave
+     exactly one valid record;
+   - self-healing: [Cache_store.build_cache] over a corrupted store
+     recomputes and republishes clean records. *)
+
+module Store = Ld_store.Store
+module Cache_store = Ld_core.Cache_store
+module Certificate_io = Ld_core.Certificate_io
+module LB = Ld_core.Lower_bound
+module Packing = Ld_matching.Packing
+
+(* Each test gets a fresh directory under the build sandbox. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ld-store-test.%d.%d" (Unix.getpid ()) !n)
+    in
+    dir
+
+let with_store f =
+  let dir = fresh_dir () in
+  let store = Store.open_store ~dir () in
+  f store
+
+let record_path store ~key =
+  Filename.concat
+    (Filename.concat
+       (Filename.concat (Store.dir store) "objects")
+       (String.sub (Store.digest_hex key) 0 2))
+    (Store.digest_hex key)
+
+let read_file path =
+  In_channel.with_open_bin path (fun ic ->
+      really_input_string ic (In_channel.length ic |> Int64.to_int))
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* ------------------------------------------------------------------ *)
+(* Basic store behaviour. *)
+
+let put_get_roundtrip () =
+  with_store @@ fun store ->
+  Alcotest.(check (option string)) "miss" None (Store.get store ~key:"k");
+  Alcotest.(check bool) "mem miss" false (Store.mem store ~key:"k");
+  Store.put store ~key:"k" "payload";
+  Alcotest.(check (option string))
+    "hit" (Some "payload") (Store.get store ~key:"k");
+  Alcotest.(check bool) "mem hit" true (Store.mem store ~key:"k");
+  (* Re-put of the identical payload is a no-op, not an error. *)
+  Store.put store ~key:"k" "payload";
+  (* The advisory index dedupes to one entry. *)
+  Alcotest.(check int) "index entries" 1 (List.length (Store.entries store));
+  Store.delete store ~key:"k";
+  Alcotest.(check (option string)) "deleted" None (Store.get store ~key:"k")
+
+let put_conflicting_payload_is_corrupt () =
+  with_store @@ fun store ->
+  Store.put store ~key:"k" "one";
+  Alcotest.check_raises "non-content-addressed re-put"
+    (Store.Store_corrupt
+       (record_path store ~key:"k"
+       ^ ": existing valid record differs from re-put payload (key is not \
+          content-addressed)"))
+    (fun () -> Store.put store ~key:"k" "two")
+
+(* Any single-byte flip anywhere in the record file must surface as
+   [Store_corrupt] — never a silently different payload, never an
+   out-of-bounds crash. *)
+let corruption_single_byte_flip =
+  QCheck.Test.make ~count:60 ~name:"byte flip => Store_corrupt"
+    (QCheck.pair QCheck.small_printable_string QCheck.small_nat)
+    (fun (payload, flip_seed) ->
+      with_store @@ fun store ->
+      Store.put store ~key:"k" payload;
+      let path = record_path store ~key:"k" in
+      let raw = read_file path in
+      let pos = flip_seed mod String.length raw in
+      let b = Bytes.of_string raw in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+      write_file path (Bytes.to_string b);
+      match Store.get store ~key:"k" with
+      | Some _ -> false (* corrupted record must never read as a hit *)
+      | None -> false (* ... and must not read as a clean miss either *)
+      | exception Store.Store_corrupt _ -> true)
+
+let truncation_is_corrupt () =
+  with_store @@ fun store ->
+  Store.put store ~key:"k" "some payload long enough to truncate";
+  let path = record_path store ~key:"k" in
+  let raw = read_file path in
+  List.iter
+    (fun keep ->
+      write_file path (String.sub raw 0 keep);
+      match Store.get store ~key:"k" with
+      | Some _ | None -> Alcotest.fail "truncated record did not raise"
+      | exception Store.Store_corrupt _ -> ())
+    [ 0; 3; Store.payload_offset - 1; Store.payload_offset + 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec. *)
+
+let cold_cache delta = LB.build_cache ~delta Packing.greedy_algorithm
+
+let entries_of_cache cache =
+  match LB.cache_outcome cache with
+  | LB.Refuted _ -> Alcotest.fail "greedy unexpectedly refuted"
+  | LB.Certified certs ->
+    List.map
+      (fun (c : LB.certificate) ->
+        {
+          Cache_store.entry_level = c.level;
+          entry_certificate = c;
+          entry_probes =
+            List.filter
+              (fun (p : LB.probe) -> p.probe_level = c.level)
+              (LB.cache_probes cache);
+        })
+      certs
+
+let codec_reencode_is_identity () =
+  let cache = cold_cache 5 in
+  List.iter
+    (fun entry ->
+      let s = Cache_store.entry_to_string entry in
+      let s' = Cache_store.entry_to_string (Cache_store.entry_of_string s) in
+      Alcotest.(check string)
+        (Printf.sprintf "level %d re-encode" entry.Cache_store.entry_level)
+        s s')
+    (entries_of_cache cache)
+
+(* Every strict prefix of a valid entry must fail to decode — cleanly. *)
+let codec_truncation_fails =
+  QCheck.Test.make ~count:80 ~name:"entry prefix => Failure"
+    (QCheck.float_range 0.0 1.0)
+    (fun frac ->
+      let s = Cache_store.entry_to_string (List.hd (entries_of_cache (cold_cache 3))) in
+      let keep = int_of_float (frac *. float_of_int (String.length s - 1)) in
+      match Cache_store.entry_of_string (String.sub s 0 keep) with
+      | _ -> false
+      | exception Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Warm restart. *)
+
+let warm_equals_cold_bytes =
+  QCheck.Test.make ~count:4 ~name:"warm cache re-serialises byte-identically"
+    (QCheck.int_range 3 6)
+    (fun delta ->
+      with_store @@ fun store ->
+      let cold = cold_cache delta in
+      assert (Cache_store.save_cache store cold);
+      match
+        Cache_store.load_cache store ~check_views:true ~delta
+          ~algo_name:Packing.greedy_algorithm.Packing.name
+      with
+      | None -> false
+      | Some warm ->
+        let ser cache =
+          String.concat "" (List.map Cache_store.entry_to_string (entries_of_cache cache))
+        in
+        String.equal (ser cold) (ser warm))
+
+let warm_equals_cold_verdicts () =
+  with_store @@ fun store ->
+  let delta = 6 in
+  let cold = cold_cache delta in
+  Alcotest.(check bool) "saved" true (Cache_store.save_cache store cold);
+  let warm =
+    Cache_store.build_cache ~store ~delta Packing.greedy_algorithm
+  in
+  (* The warm path is [assemble_cache], not a re-run: same delta, same
+     probe stream, and the analytic frontier agrees at every truncation. *)
+  Alcotest.(check int) "delta" (LB.cache_delta cold) (LB.cache_delta warm);
+  Alcotest.(check int)
+    "probe count"
+    (List.length (LB.cache_probes cold))
+    (List.length (LB.cache_probes warm));
+  for rounds = 0 to (2 * delta) + 2 do
+    let v cache =
+      match LB.truncated_verdict cache ~rounds with
+      | `Certified -> true
+      | `Refuted -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "verdict at r=%d" rounds)
+      (v cold) (v warm)
+  done;
+  (* And the records it consulted really came from the store. *)
+  Alcotest.(check int)
+    "level records" (delta - 1)
+    (List.length (Store.entries store))
+
+let build_cache_self_heals () =
+  with_store @@ fun store ->
+  let delta = 4 in
+  let cold = cold_cache delta in
+  Alcotest.(check bool) "saved" true (Cache_store.save_cache store cold);
+  (* Garble one level record on disk (keep the file length so only the
+     checksum can notice). *)
+  let key =
+    Cache_store.key ~delta ~level:1
+      ~algo:Packing.greedy_algorithm.Packing.name ~check_views:true
+  in
+  let path = record_path store ~key in
+  let raw = read_file path in
+  let b = Bytes.of_string raw in
+  Bytes.set b (String.length raw - 1)
+    (Char.chr (Char.code (Bytes.get b (String.length raw - 1)) lxor 0xFF));
+  write_file path (Bytes.to_string b);
+  (* load_cache surfaces the corruption... *)
+  (match
+     Cache_store.load_cache store ~check_views:true ~delta
+       ~algo_name:Packing.greedy_algorithm.Packing.name
+   with
+  | Some _ | None -> Alcotest.fail "corrupt record did not raise"
+  | exception Store.Store_corrupt _ -> ());
+  (* ...and build_cache self-heals: recompute, republish, same verdicts. *)
+  let healed = Cache_store.build_cache ~store ~delta Packing.greedy_algorithm in
+  for rounds = 0 to (2 * delta) + 2 do
+    let v cache =
+      match LB.truncated_verdict cache ~rounds with
+      | `Certified -> true
+      | `Refuted -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "healed verdict r=%d" rounds)
+      (v cold) (v healed)
+  done;
+  match
+    Cache_store.load_cache store ~check_views:true ~delta
+      ~algo_name:Packing.greedy_algorithm.Packing.name
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "store not repopulated after self-heal"
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: racing putters of one content-addressed key. *)
+
+let racing_puts_leave_one_valid_record () =
+  with_store @@ fun store ->
+  let payload = String.concat "-" (List.init 200 string_of_int) in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Store.put store ~key:"raced" payload
+            done))
+  in
+  List.iter Domain.join workers;
+  (* Exactly one valid record with the agreed bytes — every racer wrote
+     a byte-identical frame and rename is atomic, so no interleaving
+     can leave a torn or divergent object. *)
+  Alcotest.(check (option string))
+    "one valid record" (Some payload)
+    (Store.get store ~key:"raced");
+  let objects = Sys.readdir (Filename.dirname (record_path store ~key:"raced")) in
+  Alcotest.(check int) "one object file" 1 (Array.length objects);
+  (* No staging litter left behind. *)
+  Alcotest.(check int)
+    "tmp dir empty" 0
+    (Array.length (Sys.readdir (Filename.concat (Store.dir store) "tmp")))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "put/get/delete round-trip" `Quick
+            put_get_roundtrip;
+          Alcotest.test_case "conflicting re-put is corrupt" `Quick
+            put_conflicting_payload_is_corrupt;
+          QCheck_alcotest.to_alcotest corruption_single_byte_flip;
+          Alcotest.test_case "truncated records are corrupt" `Quick
+            truncation_is_corrupt;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "re-encode is identity" `Quick
+            codec_reencode_is_identity;
+          QCheck_alcotest.to_alcotest codec_truncation_fails;
+        ] );
+      ( "warm restart",
+        [
+          QCheck_alcotest.to_alcotest warm_equals_cold_bytes;
+          Alcotest.test_case "warm verdicts = cold verdicts" `Quick
+            warm_equals_cold_verdicts;
+          Alcotest.test_case "build_cache self-heals corruption" `Quick
+            build_cache_self_heals;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "racing puts leave one valid record" `Quick
+            racing_puts_leave_one_valid_record;
+        ] );
+    ]
