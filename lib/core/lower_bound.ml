@@ -250,7 +250,11 @@ let is_tree_plus_loops g =
   | exception Invalid_argument _ -> false (* parallel edges: not a tree *)
   | sg -> Gr.m sg = Gr.n sg - 1 && Gr.is_connected sg
 
-(* One unfold-and-mix step (Fig. 6 + Fig. 7). *)
+(* One unfold-and-mix step (Fig. 6 + Fig. 7). This `step` is the
+   adversary driver, not an executor machine transition; it
+   legitimately fans out over Pool (whose env-var fallback may warn
+   on stderr once at startup). *)
+(* ld-lint: allow deep-machine-purity — adversary driver, not a transition *)
 let step ?record ~delta ~algo ~check_views ~check_lift_invariance
     ~incremental_views state =
   let level = state.i + 1 in

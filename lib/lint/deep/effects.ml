@@ -1,0 +1,51 @@
+(* The effect lattice. A function summary is a subset of the four
+   effect kinds; [empty] is the lattice bottom ("pure") and set union
+   is the join, so the bottom-up SCC fixpoint in Callgraph is a plain
+   monotone closure over a finite height-4 lattice. Represented as an
+   int bitmask: summaries are persisted by the thousand and joined in
+   the fixpoint inner loop. *)
+
+type kind =
+  | Reads_clock (* wall/monotonic clock observation *)
+  | Nondet (* unseeded randomness *)
+  | Mutates_shared (* write to state visible outside the function *)
+  | Performs_io (* console/file/socket traffic *)
+
+let all = [ Reads_clock; Nondet; Mutates_shared; Performs_io ]
+
+let to_string = function
+  | Reads_clock -> "reads_clock"
+  | Nondet -> "nondet"
+  | Mutates_shared -> "mutates_shared"
+  | Performs_io -> "performs_io"
+
+let of_string = function
+  | "reads_clock" -> Reads_clock
+  | "nondet" -> Nondet
+  | "mutates_shared" -> Mutates_shared
+  | "performs_io" -> Performs_io
+  | s -> failwith ("Effects.of_string: " ^ s)
+
+(* Prose used in diagnostics: "transitively <describe k>". *)
+let describe = function
+  | Reads_clock -> "reads the clock"
+  | Nondet -> "draws nondeterministic values"
+  | Mutates_shared -> "mutates shared state"
+  | Performs_io -> "performs I/O"
+
+type set = int
+
+let empty : set = 0
+
+let bit = function
+  | Reads_clock -> 1
+  | Nondet -> 2
+  | Mutates_shared -> 4
+  | Performs_io -> 8
+
+let add s k = s lor bit k
+let mem s k = s land bit k <> 0
+let union (a : set) (b : set) : set = a lor b
+let is_pure s = s = 0
+let to_list s = List.filter (mem s) all
+let of_list = List.fold_left add empty

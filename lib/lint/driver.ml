@@ -5,13 +5,19 @@
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 (* Directories never descended into when walking. [lint_fixtures]
-   holds deliberately-dirty snippets for test_lint.ml; fixture files
-   are still linted when named explicitly. *)
-let skip_dirs = [ "_build"; "_opam"; ".git"; "lint_fixtures"; "node_modules" ]
+   holds deliberately-dirty snippets for test_lint.ml and
+   [deep_fixtures] the seeded mini-project for test_lint_deep.ml;
+   fixture files are still linted when named explicitly. *)
+let skip_dirs =
+  [ "_build"; "_opam"; ".git"; "lint_fixtures"; "deep_fixtures"; "node_modules" ]
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
 let rec collect acc path =
-  if (not (Sys.file_exists path)) || not (Sys.is_directory path) then
-    if Filename.check_suffix path ".ml" then path :: acc else acc
+  if not (Sys.file_exists path) then acc
+  else if not (Sys.is_directory path) then
+    if is_source path then path :: acc else acc
   else
     Sys.readdir path |> Array.to_list
     |> List.sort String.compare
@@ -20,14 +26,53 @@ let rec collect acc path =
            let sub = Filename.concat path entry in
            if Sys.is_directory sub then
              if List.mem entry skip_dirs then acc else collect acc sub
-           else if Filename.check_suffix entry ".ml" then sub :: acc
+           else if is_source entry then sub :: acc
            else acc)
          acc
 
-let parse_structure ~file content =
+(* Explicit CLI inputs that cannot be linted: a missing path or a file
+   that is neither .ml nor .mli. Directories are always acceptable
+   (they are walked). Returns (path, reason) pairs; the CLI reports
+   them and exits 2 so a typo can never masquerade as a clean run. *)
+let invalid_inputs paths =
+  List.filter_map
+    (fun p ->
+      if not (Sys.file_exists p) then Some (p, "no such file or directory")
+      else if Sys.is_directory p then None
+      else if is_source p then None
+      else Some (p, "not an OCaml source file (expected .ml or .mli)"))
+    paths
+
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+
+let parse_any ~file content =
   let lexbuf = Lexing.from_string content in
   Location.init lexbuf file;
-  Parse.implementation lexbuf
+  if Filename.check_suffix file ".mli" then Intf (Parse.interface lexbuf)
+  else Impl (Parse.implementation lexbuf)
+
+let parse_structure ~file content =
+  match parse_any ~file content with
+  | Impl str -> str
+  | Intf _ -> invalid_arg "parse_structure: interface file"
+
+(* Interfaces carry no expressions of their own, but attribute and
+   extension payloads may embed structures (default implementations,
+   ppx-style payloads) where obj-magic / poly-compare hazards hide.
+   Collect every [PStr] payload and run the ordinary rules over it. *)
+let payload_structures sg =
+  let acc = ref [] in
+  let payload self pl =
+    (match pl with
+    | Parsetree.PStr str -> acc := str :: !acc
+    | _ -> ());
+    Ast_iterator.default_iterator.payload self pl
+  in
+  let it = { Ast_iterator.default_iterator with payload } in
+  it.signature it sg;
+  List.rev !acc
 
 let dedup_sorted ds =
   let rec go = function
@@ -37,12 +82,62 @@ let dedup_sorted ds =
   in
   go (List.sort Diagnostic.compare ds)
 
+let raw_diagnostics ~rules ~file parsed =
+  match parsed with
+  | Impl str -> List.concat_map (fun (r : Rules.rule) -> r.check ~file str) rules
+  | Intf sg ->
+    payload_structures sg
+    |> List.concat_map (fun str ->
+           List.concat_map (fun (r : Rules.rule) -> r.check ~file str) rules)
+
+(* Suppression hygiene: a directive naming an active rule that
+   silences no raw diagnostic is itself reported, anchored at the
+   comment line. Directives naming rules outside the active set are
+   ignored (a deep-rule allow must not read as stale during a shallow
+   run, and a run restricted to one rule must not flag the others'
+   allows). [allow stale-suppression] is exempt to keep the check
+   well-founded; an [allow all] that silences nothing self-suppresses
+   its own stale finding, which we accept as the cost of a line-based
+   scanner. *)
+let stale_suppressions ~rules ~file ~suppress raw =
+  let active r =
+    r = "all" || r = "parse-error"
+    || List.exists (fun (ru : Rules.rule) -> ru.id = r) rules
+  in
+  Suppress.directives suppress
+  |> List.filter_map (fun (d : Suppress.directive) ->
+         if d.d_rule = "stale-suppression" || not (active d.d_rule) then None
+         else if
+           List.exists
+             (fun (x : Diagnostic.t) ->
+               Suppress.directive_covers d ~rule:x.rule ~line:x.line)
+             raw
+         then None
+         else
+           Some
+             {
+               Diagnostic.file;
+               line = d.d_line;
+               col = 0;
+               rule = "stale-suppression";
+               severity = Diagnostic.Error;
+               message =
+                 Printf.sprintf
+                   "`%s %s` silences no diagnostic — remove the stale \
+                    suppression"
+                   (match d.d_scope with
+                   | Suppress.Line -> "allow"
+                   | Suppress.File -> "allow-file")
+                   d.d_rule;
+             })
+
 (* Lint one file with [rules], honouring suppression comments. A file
    that fails to parse yields a single parse-error diagnostic — the
-   linter never aborts the whole run on one bad file. *)
+   linter never aborts the whole run on one bad file (and the stale
+   check is skipped: without an AST no directive can be validated). *)
 let lint_file ?(rules = Rules.all) file =
   let content = read_file file in
-  match parse_structure ~file content with
+  match parse_any ~file content with
   | exception e ->
     let line, msg =
       match e with
@@ -61,9 +156,21 @@ let lint_file ?(rules = Rules.all) file =
         message = msg;
       };
     ]
-  | str ->
+  | parsed ->
     let suppress = Suppress.of_source content in
-    List.concat_map (fun (r : Rules.rule) -> r.check ~file str) rules
+    let raw = raw_diagnostics ~rules ~file parsed in
+    (* Hygiene is only meaningful against the canonical rule set: a
+       run restricted to one rule must not read the other rules'
+       allows as stale. *)
+    let stale =
+      if
+        List.equal String.equal
+          (List.map (fun (r : Rules.rule) -> r.id) rules)
+          (List.map (fun (r : Rules.rule) -> r.id) Rules.all)
+      then stale_suppressions ~rules ~file ~suppress raw
+      else []
+    in
+    raw @ stale
     |> List.filter (fun (d : Diagnostic.t) ->
            not (Suppress.allowed suppress ~rule:d.rule ~line:d.line))
     |> dedup_sorted

@@ -1,22 +1,32 @@
 (* Suppression comments.
 
-   A diagnostic can be silenced at the offending site:
-
-     (* ld-lint: allow poly-compare *)          silences that rule on
-                                                this line and the next
-     (* ld-lint: allow-file domain-safety *)    silences the rule for
-                                                the whole file
-     (* ld-lint: allow all *)                   silences every rule on
-                                                this line and the next
+   A diagnostic can be silenced at the offending site with a comment
+   of the form [(* ld-lint: allow <rule...> *)], which silences the
+   named rules on that line and the next, or
+   [(* ld-lint: allow-file <rule...> *)], which silences them for the
+   whole file. The pseudo-rule id [all] silences every rule in the
+   chosen scope.
 
    The scanner is line-based and purely textual — the OCaml parser
    discards comments, so suppressions are recovered from the source
    text before the AST pass runs. Several rule ids may follow a single
-   [allow]. *)
+   [allow]. A directive that silences nothing is itself a finding
+   (stale-suppression, enforced by the driver), so the examples above
+   deliberately use the [<rule...>] placeholder rather than a real
+   rule id. *)
+
+type scope = Line | File
+
+type directive = {
+  d_rule : string; (* rule id or "all" *)
+  d_scope : scope;
+  d_line : int; (* 1-based line of the comment itself *)
+}
 
 type t = {
   file_allows : (string, unit) Hashtbl.t; (* rule id (or "all") *)
   line_allows : (int * string, unit) Hashtbl.t; (* (line, rule id or "all") *)
+  mutable directives : directive list; (* file order *)
 }
 
 let marker = "ld-lint:"
@@ -41,7 +51,13 @@ let directive_tokens rest =
          else None)
 
 let of_source content =
-  let t = { file_allows = Hashtbl.create 4; line_allows = Hashtbl.create 8 } in
+  let t =
+    {
+      file_allows = Hashtbl.create 4;
+      line_allows = Hashtbl.create 8;
+      directives = [];
+    }
+  in
   let lines = String.split_on_char '\n' content in
   List.iteri
     (fun i line ->
@@ -63,13 +79,24 @@ let of_source content =
         match directive_tokens rest with
         | "allow" :: rules ->
           List.iter
-            (fun r -> Hashtbl.replace t.line_allows (lineno, r) ())
+            (fun r ->
+              Hashtbl.replace t.line_allows (lineno, r) ();
+              t.directives <-
+                { d_rule = r; d_scope = Line; d_line = lineno } :: t.directives)
             rules
         | "allow-file" :: rules ->
-          List.iter (fun r -> Hashtbl.replace t.file_allows r ()) rules
+          List.iter
+            (fun r ->
+              Hashtbl.replace t.file_allows r ();
+              t.directives <-
+                { d_rule = r; d_scope = File; d_line = lineno } :: t.directives)
+            rules
         | _ -> ()))
     lines;
+  t.directives <- List.rev t.directives;
   t
+
+let directives t = t.directives
 
 (* An [allow] on line L covers findings on L (trailing comment) and
    L+1 (comment on its own line above the offender). *)
@@ -79,3 +106,13 @@ let allowed t ~rule ~line =
   || hit t.line_allows (line, rule)
   || hit t.line_allows (line, "all")
   || (line > 1 && (hit t.line_allows (line - 1, rule) || hit t.line_allows (line - 1, "all")))
+
+(* Would this single directive, considered in isolation, silence a
+   diagnostic of rule [rule] at [line]? Used by the driver's
+   stale-suppression check to decide whether each directive pulls its
+   weight. *)
+let directive_covers d ~rule ~line =
+  (d.d_rule = rule || d.d_rule = "all")
+  && (match d.d_scope with
+     | File -> true
+     | Line -> line = d.d_line || line = d.d_line + 1)

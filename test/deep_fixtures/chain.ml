@@ -1,0 +1,5 @@
+(* A machine whose [step] sits three calls above [Random.int]. *)
+type state = { bound : int; acc : int }
+
+let step s = { s with acc = Helpers.stage_one s.bound }
+let send s = s.acc

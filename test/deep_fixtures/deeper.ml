@@ -1,0 +1,2 @@
+(* Bottom of the fixture chain: the only direct effect in the tree. *)
+let stage_two bound = Random.int bound

@@ -1,0 +1,2 @@
+(* Middle link: pure itself, taint arrives from [Deeper]. *)
+let stage_one x = Deeper.stage_two (x + 1)

@@ -1,0 +1,13 @@
+(* Closures crossing the Pool boundary: a literal and a named helper.
+   Neither mutates anything itself — the write hides in
+   [Shared_tally.bump], one (or two) calls down. *)
+module Pool = Ld_pool.Pool
+
+let run xs =
+  Pool.map
+    (fun x ->
+      Shared_tally.bump ();
+      x + 1)
+    xs
+
+let run_named xss = Pool.map Shared_tally.bump_all xss

@@ -1,0 +1,4 @@
+(* Module-level mutable state reached only through a helper. *)
+let tally = ref 0
+let bump () = incr tally
+let bump_all xs = List.iter (fun _ -> bump ()) xs

@@ -1,0 +1,8 @@
+(* Interface fixture: interfaces carry no expressions, but attribute
+   payloads can embed structures — and an [Obj.magic] hiding in one
+   must still be caught. *)
+
+val double : int -> int
+
+[@@@fixture
+  let coerce (x : int) : string = Obj.magic x]

@@ -1,0 +1,9 @@
+(* Deliberately-stale suppressions for the hygiene check: neither
+   directive below silences any diagnostic, so each must be reported
+   as stale-suppression. *)
+(* ld-lint: allow-file nondet-source *)
+
+let double x = x + x
+
+(* ld-lint: allow poly-compare *)
+let shout s = s ^ "!"

@@ -29,8 +29,10 @@ let dirty_fixtures =
     ("packed_state.ml", "domain-safety", 3);
     ("machine_purity.ml", "machine-purity", 4);
     ("obj_magic.ml", "obj-magic", 2);
+    ("iface_magic.mli", "obj-magic", 1);
     ("exn_swallow.ml", "exn-swallow", 2);
     ("serve_loop.ml", "exn-swallow", 2);
+    ("stale_allow.ml", "stale-suppression", 2);
   ]
 
 let each_fixture_triggers_only_its_rule () =
@@ -48,7 +50,7 @@ let clean_fixtures_are_clean () =
 let directory_walk_covers_all_rules () =
   let diags = Driver.lint_paths [ "lint_fixtures" ] in
   Alcotest.(check (list string))
-    "all six rules fire across the corpus"
+    "every table rule fires across the corpus"
     (List.sort_uniq String.compare
        (List.map (fun (_, rule, _) -> rule) dirty_fixtures))
     (rule_ids diags);
@@ -77,6 +79,31 @@ let selected_rules_only () =
   let diags = Driver.lint_paths ~rules [ "lint_fixtures" ] in
   Alcotest.(check (list string)) "only poly-compare" [ "poly-compare" ]
     (rule_ids diags)
+
+let invalid_inputs_are_reported () =
+  Alcotest.(check (list (pair string string)))
+    "missing path and wrong extension"
+    [
+      ("lint_fixtures/no_such_file.ml", "no such file or directory");
+      ("dune", "not an OCaml source file (expected .ml or .mli)");
+    ]
+    (Driver.invalid_inputs
+       [ "lint_fixtures"; "lint_fixtures/no_such_file.ml"; "dune" ]);
+  Alcotest.(check (list (pair string string)))
+    "directories and sources are acceptable" []
+    (Driver.invalid_inputs [ "lint_fixtures"; fixture "clean.ml" ])
+
+let stale_check_skipped_for_restricted_runs () =
+  (* A run restricted to one rule must not read the other rules'
+     allows as stale: stale_allow.ml's two stale directives only
+     surface under the full rule set. *)
+  let rules =
+    match Rules.find "obj-magic" with
+    | Some r -> [ r ]
+    | None -> Alcotest.fail "obj-magic rule missing from registry"
+  in
+  let diags = Driver.lint_file ~rules (fixture "stale_allow.ml") in
+  Alcotest.(check (list string)) "no stale findings" [] (rule_ids diags)
 
 let parse_error_is_a_diagnostic () =
   let tmp = Filename.temp_file "ld_lint_fixture" ".ml" in
@@ -139,6 +166,10 @@ let () =
           Alcotest.test_case "output sorted and deduped" `Quick
             diagnostics_are_sorted_and_deduped;
           Alcotest.test_case "rule selection" `Quick selected_rules_only;
+          Alcotest.test_case "invalid inputs are reported" `Quick
+            invalid_inputs_are_reported;
+          Alcotest.test_case "stale check needs the full rule set" `Quick
+            stale_check_skipped_for_restricted_runs;
           Alcotest.test_case "parse error becomes a diagnostic" `Quick
             parse_error_is_a_diagnostic;
         ] );

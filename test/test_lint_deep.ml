@@ -1,0 +1,293 @@
+(* The deep linter against its seeded mini-project
+   (test/deep_fixtures/): a three-call chain down to Random.int must be
+   reported with the full chain printed, closures handed to Pool.map
+   must be caught mutating shared state through a helper, the summary
+   cache must make a warm run hit for every cmt (and self-heal from a
+   flipped byte or a stale codec), and the SARIF rendering must be
+   structurally valid 2.1.0.
+
+   Runs from test/; the fixture cmts live under the library's .objs
+   directory and their recorded source paths are relative to the build
+   root, hence source_roots = [".."]. *)
+
+module Deep = Ld_lint_deep.Deep_driver
+module Diagnostic = Ld_lint.Diagnostic
+module Sarif = Ld_lint.Sarif
+module Store = Ld_store.Store
+module Obs = Ld_obs.Obs
+module Json = Ld_obs.Json
+
+let cmt_dir = Filename.concat "deep_fixtures" ".deep_fixtures.objs/byte"
+
+let config ?store () =
+  { Deep.cmt_roots = [ cmt_dir ]; source_roots = [ ".." ]; skip = []; store }
+
+let render (d : Diagnostic.t) =
+  Printf.sprintf "%s:%d [%s] %s" d.file d.line d.rule d.message
+
+let rendered diags = List.map render diags
+
+(* ---------- fixture analysis ---------- *)
+
+let fixture_diags () = Deep.analyze (config ())
+
+let chain_is_reported () =
+  let diags = fixture_diags () in
+  Alcotest.(check int) "fixture finding count" 4 (List.length diags);
+  let find rule file =
+    match
+      List.find_opt
+        (fun (d : Diagnostic.t) ->
+          d.rule = rule && Filename.basename d.file = file)
+        diags
+    with
+    | Some d -> d
+    | None -> Alcotest.fail (Printf.sprintf "no %s finding in %s" rule file)
+  in
+  (* the tentpole acceptance: a 3-deep chain, printed in full *)
+  let step = find "deep-machine-purity" "chain.ml" in
+  Alcotest.(check string)
+    "transition chain message"
+    "machine transition `step` transitively draws nondeterministic values \
+     — transitions must be pure: Deep_fixtures.Chain.step -> \
+     Deep_fixtures.Helpers.stage_one -> Deep_fixtures.Deeper.stage_two -> \
+     Random.int (test/deep_fixtures/deeper.ml:2)"
+    step.message;
+  Alcotest.(check int) "transition anchored at its binding" 4 step.line;
+  let middle = find "deep-nondet-source" "helpers.ml" in
+  Alcotest.(check string)
+    "transitive-only middle link"
+    "`stage_one` transitively draws nondeterministic values: \
+     Deep_fixtures.Helpers.stage_one -> Deep_fixtures.Deeper.stage_two -> \
+     Random.int (test/deep_fixtures/deeper.ml:2)"
+    middle.message;
+  (* [Deeper.stage_two] uses Random directly: the shallow rule's
+     finding, never a deep one *)
+  Alcotest.(check bool) "no deep finding at the direct use" true
+    (List.for_all
+       (fun (d : Diagnostic.t) -> Filename.basename d.file <> "deeper.ml")
+       diags)
+
+let pool_mutation_through_helper () =
+  let diags = fixture_diags () in
+  let pool =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        d.rule = "deep-domain-safety"
+        && Filename.basename d.file = "pool_capture.ml")
+      diags
+  in
+  Alcotest.(check int) "both Pool.map findings" 2 (List.length pool);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let witness =
+    "Deep_fixtures.Shared_tally.bump -> reference increment to `tally` \
+     (test/deep_fixtures/shared_tally.ml:3)"
+  in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check bool)
+        ("mutation-through-helper witness in: " ^ d.message)
+        true
+        (contains d.message witness))
+    pool;
+  (* one anchored at the closure literal, one at the named reference *)
+  let lines =
+    List.sort Int.compare (List.map (fun (d : Diagnostic.t) -> d.line) pool)
+  in
+  Alcotest.(check (list int)) "anchors" [ 8; 13 ] lines
+
+(* ---------- summary cache ---------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let rec object_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun e -> object_files (Filename.concat path e))
+  else [ path ]
+
+let flip_byte path off =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let delta counters name =
+  match List.assoc_opt name counters with Some v -> v | None -> 0
+
+let cache_lifecycle () =
+  Obs.enable ();
+  let dir = Filename.temp_file "ld-deep-store" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let st = Store.open_store ~dir () in
+      let cfg = config ~store:st () in
+      (* cold: every summary extracted and put *)
+      let s0 = Obs.Counter.snapshot_all () in
+      let cold = Deep.analyze cfg in
+      let s1 = Obs.Counter.snapshot_all () in
+      let d_cold = Obs.Counter.diff s0 s1 in
+      let n = delta d_cold "lint.deep.units" in
+      Alcotest.(check bool) "fixture units seen" true (n >= 5);
+      Alcotest.(check int) "cold run extracts everything" n
+        (delta d_cold "lint.deep.extracted");
+      Alcotest.(check int) "cold run misses everything" n
+        (delta d_cold "store.misses");
+      (* warm: zero inference — every unit is a store hit *)
+      let warm = Deep.analyze cfg in
+      let s2 = Obs.Counter.snapshot_all () in
+      let d_warm = Obs.Counter.diff s1 s2 in
+      Alcotest.(check (list string))
+        "warm diagnostics identical" (rendered cold) (rendered warm);
+      Alcotest.(check int) "warm run misses nothing" 0
+        (delta d_warm "store.misses");
+      Alcotest.(check int) "warm run extracts nothing" 0
+        (delta d_warm "lint.deep.extracted");
+      Alcotest.(check bool) "warm hits cover every cmt" true
+        (delta d_warm "store.hits" >= n);
+      (* a flipped payload byte surfaces as Store_corrupt and heals *)
+      (match object_files (Filename.concat dir "objects") with
+      | obj :: _ -> flip_byte obj Store.payload_offset
+      | [] -> Alcotest.fail "store holds no objects after a cold run");
+      let healed = Deep.analyze cfg in
+      let s3 = Obs.Counter.snapshot_all () in
+      let d_heal = Obs.Counter.diff s2 s3 in
+      Alcotest.(check (list string))
+        "healed diagnostics identical" (rendered cold) (rendered healed);
+      Alcotest.(check bool) "corruption detected" true
+        (delta d_heal "store.corrupt" >= 1);
+      Alcotest.(check int) "only the bad record re-extracted" 1
+        (delta d_heal "lint.deep.extracted");
+      (* a validly-framed record in a stale codec version also heals *)
+      let key = Deep.store_key (List.hd (Deep.collect_cmts cfg)) in
+      Store.delete st ~key;
+      Store.put st ~key "ld-lint-deep-summary 999\nend\n";
+      let redone = Deep.analyze cfg in
+      let s4 = Obs.Counter.snapshot_all () in
+      let d_redo = Obs.Counter.diff s3 s4 in
+      Alcotest.(check (list string))
+        "codec-drift diagnostics identical" (rendered cold) (rendered redone);
+      Alcotest.(check int) "only the stale record re-extracted" 1
+        (delta d_redo "lint.deep.extracted"))
+
+(* ---------- SARIF ---------- *)
+
+let member_exn k v =
+  match Json.member k v with
+  | Some x -> x
+  | None -> Alcotest.fail ("SARIF: missing member " ^ k)
+
+let str_exn what v =
+  match Json.to_string v with
+  | Some s -> s
+  | None -> Alcotest.fail ("SARIF: expected string at " ^ what)
+
+let arr_exn what v =
+  match Json.to_list v with
+  | Some l -> l
+  | None -> Alcotest.fail ("SARIF: expected array at " ^ what)
+
+let sarif_is_structurally_valid () =
+  let diags = fixture_diags () in
+  let rules =
+    Sarif.of_shallow_rules ()
+    @ List.map
+        (fun (id, severity, doc) -> Sarif.meta ~id ~severity ~doc)
+        Deep.rules_meta
+  in
+  let log = Json.parse (Sarif.render ~rules diags) in
+  Alcotest.(check string)
+    "version" "2.1.0"
+    (str_exn "version" (member_exn "version" log));
+  let schema = str_exn "$schema" (member_exn "$schema" log) in
+  Alcotest.(check bool) "schema uri names 2.1.0" true
+    (Filename.basename schema = "sarif-schema-2.1.0.json");
+  let runs = arr_exn "runs" (member_exn "runs" log) in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  let run = List.hd runs in
+  let driver = member_exn "driver" (member_exn "tool" run) in
+  Alcotest.(check string)
+    "driver name" "ld-lint"
+    (str_exn "name" (member_exn "name" driver));
+  let rule_ids =
+    arr_exn "rules" (member_exn "rules" driver)
+    |> List.map (fun r -> str_exn "rule id" (member_exn "id" r))
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("catalogue has " ^ id) true (List.mem id rule_ids))
+    [
+      "poly-compare"; "nondet-source"; "domain-safety"; "machine-purity";
+      "obj-magic"; "exn-swallow"; "deep-nondet-source"; "deep-domain-safety";
+      "deep-machine-purity"; "parse-error"; "stale-suppression";
+    ];
+  let results = arr_exn "results" (member_exn "results" run) in
+  Alcotest.(check int) "one result per diagnostic" (List.length diags)
+    (List.length results);
+  List.iter
+    (fun r ->
+      let rule_id = str_exn "ruleId" (member_exn "ruleId" r) in
+      let index =
+        match Json.to_float (member_exn "ruleIndex" r) with
+        | Some f -> int_of_float f
+        | None -> Alcotest.fail "SARIF: ruleIndex not a number"
+      in
+      Alcotest.(check string)
+        "ruleIndex points at ruleId" rule_id
+        (List.nth rule_ids index);
+      Alcotest.(check string)
+        "level" "error"
+        (str_exn "level" (member_exn "level" r));
+      ignore (str_exn "message" (member_exn "text" (member_exn "message" r)));
+      let loc =
+        match arr_exn "locations" (member_exn "locations" r) with
+        | [ l ] -> member_exn "physicalLocation" l
+        | _ -> Alcotest.fail "SARIF: expected exactly one location"
+      in
+      let region = member_exn "region" loc in
+      let pos what =
+        match Json.to_float (member_exn what region) with
+        | Some f when f >= 1.0 -> ()
+        | _ -> Alcotest.fail ("SARIF: " ^ what ^ " must be >= 1")
+      in
+      pos "startLine";
+      pos "startColumn";
+      ignore
+        (str_exn "uri"
+           (member_exn "uri" (member_exn "artifactLocation" loc))))
+    results
+
+let () =
+  Alcotest.run "lint-deep"
+    [
+      ( "taint",
+        [
+          Alcotest.test_case "3-deep Random chain, full chain printed" `Quick
+            chain_is_reported;
+          Alcotest.test_case "Pool closures mutating through a helper" `Quick
+            pool_mutation_through_helper;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "cold/warm/self-heal lifecycle" `Quick
+            cache_lifecycle ] );
+      ( "sarif",
+        [ Alcotest.test_case "structurally valid 2.1.0" `Quick
+            sarif_is_structurally_valid ] );
+    ]
